@@ -1,0 +1,140 @@
+"""Extension experiments beyond the paper's evaluation.
+
+The paper's §VIII frames its insights as general; these benches test that
+generality inside the model:
+
+* the **legacy full-visibility** workaround (Fig. 6a) matches MPI-Opt's
+  communication but pays for it in batch headroom;
+* **strong scaling** (fixed global batch) — the companion regime to the
+  paper's weak scaling;
+* a **DGX-1V-class x86 system** — the visibility fix matters *more* where
+  pageable staging is slower;
+* **model-agnosticism** — the same scenario ordering holds for the
+  DeepLabv3-class segmentation workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    MPI_ALL_VISIBLE,
+    MPI_DEFAULT,
+    MPI_OPT,
+    ScalingStudy,
+    StudyConfig,
+)
+from repro.hardware.specs import DGX1V
+from repro.utils.tables import TextTable
+
+
+def test_extension_legacy_visibility_tradeoff(benchmark, save_report):
+    """Fig. 6a quantified: same comm speed as MPI-Opt, less batch room."""
+
+    def compute():
+        fast = StudyConfig(measure_steps=1, warmup_steps=1)
+        legacy = ScalingStudy(MPI_ALL_VISIBLE, fast)
+        opt = ScalingStudy(MPI_OPT, fast)
+        return {
+            "legacy_rate": legacy.run_point(16).images_per_second,
+            "opt_rate": opt.run_point(16).images_per_second,
+            "legacy_max_batch": legacy.max_feasible_batch(),
+            "opt_max_batch": opt.max_feasible_batch(),
+        }
+
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_report(
+        "ext_legacy_visibility",
+        f"16-GPU throughput: legacy full-visibility {data['legacy_rate']:.1f} "
+        f"vs MPI-Opt {data['opt_rate']:.1f} img/s\n"
+        f"max per-GPU batch: legacy {data['legacy_max_batch']} "
+        f"vs MPI-Opt {data['opt_max_batch']} "
+        "(overhead kernels cost batch headroom — paper Fig. 6a/9)",
+    )
+    assert data["legacy_rate"] == pytest.approx(data["opt_rate"], rel=0.05)
+    assert data["legacy_max_batch"] < data["opt_max_batch"]
+
+
+def test_extension_strong_scaling(benchmark, save_report):
+    """Fixed 256-image global batch: per-GPU batch shrinks with scale and
+    utilization decays — weak scaling (the paper's regime) holds up better."""
+
+    def compute():
+        weak = ScalingStudy(MPI_OPT, StudyConfig(measure_steps=1))
+        strong = ScalingStudy(
+            MPI_OPT, StudyConfig(global_batch=256, measure_steps=1)
+        )
+        gpu_counts = [4, 16, 64]
+        return (
+            gpu_counts,
+            weak.run(gpu_counts),
+            strong.run(gpu_counts),
+        )
+
+    gpu_counts, weak_pts, strong_pts = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    table = TextTable(
+        ["GPUs", "weak img/s", "weak eff", "strong img/s", "strong eff"],
+        title="Extension — weak vs strong scaling (MPI-Opt)",
+    )
+    for g, w, s in zip(gpu_counts, weak_pts, strong_pts):
+        table.add_row(g, f"{w.images_per_second:.1f}", f"{w.efficiency:.1%}",
+                      f"{s.images_per_second:.1f}", f"{s.efficiency:.1%}")
+    save_report("ext_strong_scaling", table.render())
+
+    weak_decay = weak_pts[-1].efficiency / weak_pts[0].efficiency
+    strong_decay = strong_pts[-1].efficiency / strong_pts[0].efficiency
+    assert strong_decay < weak_decay
+
+
+def test_extension_dgx_class_system(benchmark, save_report):
+    """The visibility fix also pays on an x86 DGX-1V-class system.
+
+    A subtlety the model surfaces: with 8 ranks per DGX node, single-node
+    ring chunks (message/8) fall near the CUDA-IPC size threshold, so part
+    of the traffic stays staged under MPI-Opt — the per-node rank count
+    interacts with IPC thresholds, not just link speeds."""
+
+    def compute():
+        out = {}
+        for label, cluster in (("lassen", None), ("dgx1v", DGX1V)):
+            kwargs = dict(measure_steps=1, warmup_steps=1)
+            if cluster is not None:
+                kwargs["cluster"] = cluster
+            config = StudyConfig(**kwargs)
+            default = ScalingStudy(MPI_DEFAULT, config).run_point(8)
+            opt = ScalingStudy(MPI_OPT, config).run_point(8)
+            out[label] = opt.images_per_second / default.images_per_second
+        return out
+
+    gains = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_report(
+        "ext_dgx_system",
+        f"MPI-Opt / MPI speedup at 8 GPUs: Lassen {gains['lassen']:.2f}x, "
+        f"DGX-1V {gains['dgx1v']:.2f}x (8-rank nodes push ring chunks toward "
+        "the IPC threshold, tempering the DGX win)",
+    )
+    assert gains["lassen"] > 1.10
+    assert gains["dgx1v"] > 1.10
+
+
+def test_extension_segmentation_workload(benchmark, save_report):
+    """The scenario ordering transfers to the DeepLabv3-class workload."""
+
+    def compute():
+        config = StudyConfig(
+            model="deeplabv3-rn50", batch_per_gpu=2,
+            measure_steps=1, warmup_steps=1,
+        )
+        default = ScalingStudy(MPI_DEFAULT, config).run_point(32)
+        opt = ScalingStudy(MPI_OPT, config).run_point(32)
+        return default.images_per_second, opt.images_per_second
+
+    default_rate, opt_rate = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_report(
+        "ext_segmentation",
+        f"DeepLabv3-RN50 at 32 GPUs: default {default_rate:.1f} img/s, "
+        f"MPI-Opt {opt_rate:.1f} img/s ({opt_rate / default_rate:.2f}x)",
+    )
+    assert opt_rate > 1.05 * default_rate

@@ -1,0 +1,52 @@
+"""Fig. 10 — default distributed EDSR training performance.
+
+Horovod built against MVAPICH2-GDR with *default* settings vs. NCCL,
+4 -> 512 GPUs.  The paper's observation: default MPI scaling is acceptable
+at small node counts but degrades at scale (the lost-IPC staged path),
+while NCCL (which manages IPC itself) holds up.
+"""
+
+from __future__ import annotations
+
+from conftest import GPU_COUNTS
+
+from repro.utils.tables import TextTable
+
+
+def test_fig10_default_vs_nccl_scaling(benchmark, sweeps, save_report):
+    def compute():
+        return {
+            "MPI": sweeps.sweep("MPI"),
+            "NCCL": sweeps.sweep("NCCL"),
+        }
+
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["GPUs", "MPI (img/s)", "NCCL (img/s)", "MPI eff", "NCCL eff"],
+        title="Fig. 10 — default scaling: MVAPICH2-GDR (default) vs NCCL",
+    )
+    for mpi_point, nccl_point in zip(data["MPI"], data["NCCL"]):
+        table.add_row(
+            mpi_point.num_gpus,
+            f"{mpi_point.images_per_second:.1f}",
+            f"{nccl_point.images_per_second:.1f}",
+            f"{mpi_point.efficiency:.1%}",
+            f"{nccl_point.efficiency:.1%}",
+        )
+    save_report("fig10_default_scaling", table.render())
+
+    mpi = {p.num_gpus: p for p in data["MPI"]}
+    nccl = {p.num_gpus: p for p in data["NCCL"]}
+    # throughput still rises with scale for both backends
+    for points in (data["MPI"], data["NCCL"]):
+        rates = [p.images_per_second for p in points]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+    # default MPI degrades markedly by 512 GPUs...
+    assert mpi[512].efficiency < 0.65
+    # ...while NCCL stays well ahead (the paper's motivating asymmetry)
+    assert nccl[512].images_per_second > 1.15 * mpi[512].images_per_second
+    # and at one node the two are comparable (within ~25%)
+    assert nccl[4].images_per_second < 1.35 * mpi[4].images_per_second
+    benchmark.extra_info["mpi_eff_512"] = mpi[512].efficiency
+    benchmark.extra_info["nccl_eff_512"] = nccl[512].efficiency

@@ -1,0 +1,63 @@
+"""Fig. 12 — optimized distributed EDSR training performance.
+
+MPI-Opt (CUDA IPC restored via MV2_VISIBLE_DEVICES + registration cache)
+vs. default MPI.  Paper headline: ~26% throughput improvement (1.26x) at
+scale.
+"""
+
+from __future__ import annotations
+
+from conftest import GPU_COUNTS
+
+from repro.core.efficiency import speedup
+from repro.utils.tables import TextTable
+
+
+def test_fig12_optimized_throughput(benchmark, sweeps, save_report):
+    def compute():
+        return {
+            "MPI": sweeps.sweep("MPI"),
+            "MPI-Opt": sweeps.sweep("MPI-Opt"),
+        }
+
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["GPUs", "MPI (img/s)", "MPI-Opt (img/s)", "speedup"],
+        title="Fig. 12 — optimized vs default distributed EDSR throughput",
+    )
+    for default, opt in zip(data["MPI"], data["MPI-Opt"]):
+        table.add_row(
+            default.num_gpus,
+            f"{default.images_per_second:.1f}",
+            f"{opt.images_per_second:.1f}",
+            f"{speedup(opt.images_per_second, default.images_per_second):.2f}x",
+        )
+    final = speedup(
+        data["MPI-Opt"][-1].images_per_second, data["MPI"][-1].images_per_second
+    )
+    save_report(
+        "fig12_opt_throughput",
+        table.render() + f"\nspeedup at 512 GPUs: {final:.2f}x (paper: 1.26x)",
+    )
+
+    # shape targets
+    assert final > 1.15  # the paper's 1.26x, with model tolerance
+    assert final < 1.45
+    for default, opt in zip(data["MPI"], data["MPI-Opt"]):
+        assert opt.images_per_second >= default.images_per_second
+    benchmark.extra_info["speedup_512"] = final
+
+
+def test_fig12_gain_mechanism_is_intra_node(benchmark, sweeps):
+    """The optimization targets intra-node transport: MPI-Opt eliminates
+    the pageable-staging compute blocking entirely."""
+
+    def compute():
+        return sweeps.point("MPI", 64), sweeps.point("MPI-Opt", 64)
+
+    default, opt = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert default.blocking_time > 0
+    # only sub-threshold (<4 MiB) messages still stage under MPI-Opt
+    assert opt.blocking_time < 0.1 * default.blocking_time
+    assert opt.comm_wall_time < default.comm_wall_time

@@ -1,0 +1,71 @@
+"""Fig. 14 — hvprof allreduce profile: 100 training steps on 4 GPUs.
+
+The paper profiles 100 EDSR steps under default MPI and under MPI-Opt and
+plots per-message-size-bin allreduce time; the >=16 MB bins shrink by ~50%
+under MPI-Opt while the small bins are unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MPI_DEFAULT, MPI_OPT, ScalingStudy, StudyConfig
+from repro.profiling import Hvprof, improvement_summary
+
+STEPS = 100
+GPUS = 4
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    config = StudyConfig(measure_steps=STEPS)
+    out = {}
+    for scenario in (MPI_DEFAULT, MPI_OPT):
+        hv = Hvprof()
+        ScalingStudy(scenario, config).run_point(GPUS, hvprof=hv)
+        out[scenario.name] = hv
+    return out
+
+
+def test_fig14_hvprof_profiles(benchmark, profiles, save_report):
+    data = benchmark.pedantic(lambda: profiles, rounds=1, iterations=1)
+
+    report = "\n\n".join(
+        data[name].report(
+            title=f"Fig. 14 — hvprof allreduce profile, {STEPS} steps on "
+                  f"{GPUS} GPUs ({name})"
+        )
+        for name in ("MPI", "MPI-Opt")
+    )
+    save_report("fig14_hvprof", report)
+
+    for name in ("MPI", "MPI-Opt"):
+        hv = data[name]
+        # ~equal gradient volume profiled in both runs
+        assert hv.op_count("allreduce") >= STEPS  # >= 1 message per step
+        bins = hv.by_bin("allreduce")
+        populated = [b for b, s in bins.items() if s.count > 0]
+        # the fused-EDSR stream populates the large bins
+        assert any(b.low >= 16 * 1024 * 1024 for b in populated)
+    # both profiles saw the same bytes (same workload)
+    assert data["MPI"].total_bytes() == data["MPI-Opt"].total_bytes()
+
+
+def test_fig14_improvement_concentrated_in_large_bins(benchmark, profiles):
+    summary = benchmark.pedantic(
+        lambda: improvement_summary(profiles["MPI"], profiles["MPI-Opt"]),
+        rounds=1, iterations=1,
+    )
+    large = [
+        summary[label]
+        for label in ("16 MB - 32 MB", "32 MB - 64 MB")
+        if profiles["MPI"].by_bin()[_bin(label)].count > 0
+    ]
+    assert large, "no populated large bins"
+    assert max(large) > 35.0  # paper: 53.1% / 49.7%
+
+
+def _bin(label):
+    from repro.profiling import PAPER_BINS
+
+    return next(b for b in PAPER_BINS if b.label == label)

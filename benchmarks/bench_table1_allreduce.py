@@ -1,0 +1,74 @@
+"""Table I — allreduce time performance improvement (default vs optimized).
+
+Paper values (100 steps, message-size bins):
+
+    1-128 KB        392.0 ->  391.2 ms   (~0%)
+    128 KB - 16 MB  320.7 ->  342.4 ms   (~0%)
+    16 MB - 32 MB  1321.6 ->  619.6 ms   (53.1%)
+    32 MB - 64 MB  5145.6 -> 2587.2 ms   (49.7%)
+    Total          7179.9 -> 3918.5 ms   (45.4%)
+
+We assert the *structure*: negligible change below 16 MB, ~half above,
+and a total improvement in the 30-60% band.
+"""
+
+from __future__ import annotations
+
+from repro.core import MPI_DEFAULT, MPI_OPT, ScalingStudy, StudyConfig
+from repro.core.calibration import TARGETS
+from repro.profiling import Hvprof, comparison_table, improvement_summary
+
+STEPS = 100
+GPUS = 4
+
+
+def run_profiles():
+    config = StudyConfig(measure_steps=STEPS)
+    out = {}
+    for scenario in (MPI_DEFAULT, MPI_OPT):
+        hv = Hvprof()
+        ScalingStudy(scenario, config).run_point(GPUS, hvprof=hv)
+        out[scenario.name] = hv
+    return out
+
+
+def test_table1_allreduce_improvement(benchmark, save_report):
+    profiles = benchmark.pedantic(run_profiles, rounds=1, iterations=1)
+    default, optimized = profiles["MPI"], profiles["MPI-Opt"]
+
+    table = comparison_table(default, optimized)
+    summary = improvement_summary(default, optimized)
+    save_report(
+        "table1_allreduce",
+        table
+        + f"\npaper total improvement: {TARGETS['table1_total_improvement_pct']}%"
+        f"  |  ours: {summary['Total']:.1f}%",
+    )
+
+    # structure assertions (Table I's signature)
+    small_bins = [summary["1-128 KB"], summary["128 KB - 16 MB"]]
+    populated_small = [
+        s for label, s in zip(("1-128 KB", "128 KB - 16 MB"), small_bins)
+        if default.by_bin()[_bin(label)].count > 0
+    ]
+    for s in populated_small:
+        assert abs(s) < 25.0  # ~0 improvement below 16 MB
+    large = [
+        summary[label]
+        for label in ("16 MB - 32 MB", "32 MB - 64 MB")
+        if default.by_bin()[_bin(label)].count > 0
+    ]
+    assert large
+    for s in large:
+        assert s > 30.0  # paper: ~50%
+    assert 30.0 < summary["Total"] < 62.0  # paper: 45.4%
+    benchmark.extra_info["total_improvement_pct"] = summary["Total"]
+    benchmark.extra_info.update(
+        {f"bin_{k}": v for k, v in summary.items() if k != "Total"}
+    )
+
+
+def _bin(label):
+    from repro.profiling import PAPER_BINS
+
+    return next(b for b in PAPER_BINS if b.label == label)

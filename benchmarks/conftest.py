@@ -1,0 +1,78 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each ``bench_*`` file regenerates one table or figure from the paper's
+evaluation.  Scenario sweeps are expensive and shared by several figures
+(10, 12, 13 plot the same runs), so a session-scoped cache computes each
+(scenario, gpu_count) point once.
+
+Every benchmark writes its reproduced rows to
+``benchmarks/results/<name>.txt`` so the regenerated data is inspectable
+after the run, and attaches headline numbers to ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import SCENARIOS, ScalingStudy, StudyConfig
+from repro.core.study import PAPER_GPU_COUNTS, ScalingPoint
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: sweep resolution used by the shared cache (full paper range)
+GPU_COUNTS = PAPER_GPU_COUNTS
+
+
+class SweepCache:
+    """Lazily computes and memoizes scaling points per scenario."""
+
+    def __init__(self):
+        self._points: dict[tuple[str, int], ScalingPoint] = {}
+        self._studies: dict[str, ScalingStudy] = {}
+        self.config = StudyConfig(measure_steps=2)
+
+    def study(self, scenario_name: str) -> ScalingStudy:
+        if scenario_name not in self._studies:
+            scenario = next(s for s in SCENARIOS if s.name == scenario_name)
+            self._studies[scenario_name] = ScalingStudy(scenario, self.config)
+        return self._studies[scenario_name]
+
+    def point(self, scenario_name: str, gpus: int) -> ScalingPoint:
+        key = (scenario_name, gpus)
+        if key not in self._points:
+            study = self.study(scenario_name)
+            point = study.run_point(gpus)
+            point.efficiency = point.images_per_second / (
+                gpus * study.single_gpu_rate()
+            )
+            self._points[key] = point
+        return self._points[key]
+
+    def sweep(self, scenario_name: str, gpu_counts=None) -> list[ScalingPoint]:
+        return [self.point(scenario_name, g) for g in (gpu_counts or GPU_COUNTS)]
+
+
+@pytest.fixture(scope="session")
+def sweeps() -> SweepCache:
+    return SweepCache()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_report(results_dir):
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        # also echo to the captured stdout for `pytest -s` runs
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

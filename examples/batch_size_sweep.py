@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Reproduce the single-GPU hyperparameter study (paper §V / Fig. 9).
+
+Sweeps the training batch size for paper-scale EDSR on one simulated V100:
+throughput rises then saturates, device memory grows linearly, and the
+sweep ends at the out-of-memory boundary.  Also shows how the Fig. 6a
+"overhead kernel" contexts (undisciplined visibility) shrink the usable
+batch range — the memory side of the paper's visibility conflict.
+
+Run:  python examples/batch_size_sweep.py [--model edsr-paper]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.hardware import V100_16GB
+from repro.models import get_model_cost
+from repro.models.costing import ThroughputModel, TrainingMemoryModel
+from repro.utils.tables import TextTable
+from repro.utils.units import GIB, format_bytes
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", type=str, default="edsr-paper")
+    args = parser.parse_args()
+
+    cost = get_model_cost(args.model)
+    throughput = ThroughputModel(cost, V100_16GB)
+    memory = TrainingMemoryModel(cost)
+    hbm = V100_16GB.memory_bytes
+
+    # Fig. 6a: every co-located process leaves a context on this GPU
+    overhead_contexts = 4 * V100_16GB.context_overhead_bytes
+    clean = hbm - V100_16GB.context_overhead_bytes
+    crowded = hbm - overhead_contexts
+
+    table = TextTable(
+        ["Batch", "img/s", "step (ms)", "memory", "fits (1 ctx)", "fits (4 ctx)"],
+        title=f"Single-V100 batch-size sweep — {cost.name} (paper Fig. 9)",
+    )
+    batch = 1
+    while True:
+        required = memory.bytes_required(batch)
+        fits_clean = required <= clean
+        fits_crowded = required <= crowded
+        table.add_row(
+            batch,
+            f"{throughput.images_per_second(batch):.2f}",
+            f"{throughput.step_time(batch) * 1e3:.1f}",
+            format_bytes(required),
+            "yes" if fits_clean else "OOM",
+            "yes" if fits_crowded else "OOM",
+        )
+        if not fits_clean:
+            break
+        batch *= 2
+    print(table.render())
+    print(
+        f"\nmax batch: {memory.max_batch(clean)} with one context, "
+        f"{memory.max_batch(crowded)} when 4 processes leave overhead kernels "
+        f"({format_bytes(overhead_contexts)} of HBM lost — paper Fig. 6a)"
+    )
+    print(
+        "the paper selects batch 4: throughput is already near the saturation "
+        "knee while preserving convergence speed (paper §V)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""One-shot reproduction of the paper's entire evaluation section.
+
+Runs every experiment (Figs. 1, 9, 10, 11, 12, 13, 14 and Table I) through
+the library and writes a consolidated ``reproduction_report.txt`` with
+paper-vs-measured values.  A lighter-weight alternative to
+``pytest benchmarks/ --benchmark-only`` (which additionally asserts the
+reproduction shapes).
+
+Run:  python examples/reproduce_paper.py [--max-gpus 512] [--out report.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+
+from repro.core import (
+    MPI_DEFAULT,
+    MPI_OPT,
+    MPI_REG,
+    NCCL_SCENARIO,
+    ScalingStudy,
+    StudyConfig,
+)
+from repro.core.calibration import TARGETS
+from repro.core.efficiency import efficiency_gain_points, speedup
+from repro.core.study import PAPER_GPU_COUNTS
+from repro.hardware import V100_16GB
+from repro.models import get_model_cost
+from repro.models.costing import ThroughputModel, TrainingMemoryModel
+from repro.profiling import Hvprof, comparison_table
+from repro.utils.tables import TextTable
+from repro.utils.units import format_bytes
+
+
+def fig1(out: io.StringIO) -> None:
+    out.write("\n=== Fig. 1: single-V100 throughput ===\n")
+    edsr = ThroughputModel(get_model_cost("edsr-paper"), V100_16GB)
+    resnet = ThroughputModel(get_model_cost("resnet-50"), V100_16GB)
+    out.write(
+        f"EDSR     batch 4 : {edsr.images_per_second(4):6.1f} img/s "
+        f"(paper {TARGETS['fig1_edsr_img_s']})\n"
+        f"ResNet-50 batch 32: {resnet.images_per_second(32):6.1f} img/s "
+        f"(paper {TARGETS['fig1_resnet_img_s']})\n"
+    )
+
+
+def fig9(out: io.StringIO) -> None:
+    out.write("\n=== Fig. 9: single-GPU batch-size sweep ===\n")
+    cost = get_model_cost("edsr-paper")
+    throughput = ThroughputModel(cost, V100_16GB)
+    memory = TrainingMemoryModel(cost)
+    for batch in (1, 2, 4, 8, 16, 32, 64):
+        out.write(
+            f"batch {batch:3d}: {throughput.images_per_second(batch):6.2f} img/s, "
+            f"{format_bytes(memory.bytes_required(batch))}\n"
+        )
+    hbm = V100_16GB.memory_bytes - V100_16GB.context_overhead_bytes
+    out.write(f"max batch before OOM: {memory.max_batch(hbm)}\n")
+
+
+def scaling(out: io.StringIO, gpu_counts: list[int], steps: int) -> None:
+    out.write("\n=== Figs. 10/11/12/13: scaling study ===\n")
+    scenarios = (MPI_DEFAULT, MPI_REG, MPI_OPT, NCCL_SCENARIO)
+    config = StudyConfig(measure_steps=steps)
+    results = {}
+    for scenario in scenarios:
+        results[scenario.name] = ScalingStudy(scenario, config).run(gpu_counts)
+    table = TextTable(
+        ["GPUs"]
+        + [f"{s.name} img/s" for s in scenarios]
+        + [f"{s.name} eff" for s in scenarios],
+    )
+    for i, gpus in enumerate(gpu_counts):
+        table.add_row(
+            gpus,
+            *[f"{results[s.name][i].images_per_second:.1f}" for s in scenarios],
+            *[f"{results[s.name][i].efficiency:.1%}" for s in scenarios],
+        )
+    out.write(table.render() + "\n")
+    last = -1
+    default, reg = results["MPI"][last], results["MPI-Reg"][last]
+    opt = results["MPI-Opt"][last]
+    out.write(
+        f"\nAt {gpu_counts[last]} GPUs:\n"
+        f"  MPI-Opt speedup over MPI: "
+        f"{speedup(opt.images_per_second, default.images_per_second):.2f}x "
+        f"(paper 1.26x)\n"
+        f"  efficiency gap: "
+        f"{efficiency_gain_points(opt.efficiency, default.efficiency):+.1f} pts "
+        f"(paper +15.6)\n"
+        f"  regcache gain: "
+        f"{100 * (reg.images_per_second / default.images_per_second - 1):+.1f}% "
+        f"(paper avg +5.1%)\n"
+    )
+
+
+def table1(out: io.StringIO, steps: int) -> None:
+    out.write("\n=== Fig. 14 / Table I: hvprof profile, 4 GPUs ===\n")
+    config = StudyConfig(measure_steps=steps)
+    profiles = {}
+    for scenario in (MPI_DEFAULT, MPI_OPT):
+        hv = Hvprof()
+        ScalingStudy(scenario, config).run_point(4, hvprof=hv)
+        profiles[scenario.name] = hv
+    out.write(comparison_table(profiles["MPI"], profiles["MPI-Opt"]) + "\n")
+    out.write(
+        f"(paper: ~0% below 16 MB, 53.1%/49.7% in the large bins, "
+        f"45.4% total)\n"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-gpus", type=int, default=512)
+    parser.add_argument("--steps", type=int, default=2)
+    parser.add_argument("--profile-steps", type=int, default=100)
+    parser.add_argument("--out", type=str, default="reproduction_report.txt")
+    args = parser.parse_args()
+
+    gpu_counts = [g for g in PAPER_GPU_COUNTS if g <= args.max_gpus]
+    out = io.StringIO()
+    out.write(
+        "Reproduction report: 'Scaling Single-Image Super-Resolution "
+        "Training on Modern HPC Clusters' (IPDPS-W 2021)\n"
+    )
+    fig1(out)
+    fig9(out)
+    scaling(out, gpu_counts, args.steps)
+    table1(out, args.profile_steps)
+
+    report = out.getvalue()
+    print(report)
+    with open(args.out, "w") as fh:
+        fh.write(report)
+    print(f"[report written to {args.out}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Reproduce the paper's scaling experiment (Figs. 10, 12, 13) end to end.
+
+Runs the EDSR weak-scaling study on the simulated Lassen system for all
+four scenarios — default MPI, MPI-Reg, MPI-Opt, NCCL — and prints
+throughput and scaling-efficiency tables plus the headline comparisons
+(+26% throughput / +15.6 efficiency points for MPI-Opt at 512 GPUs).
+
+Run:  python examples/scaling_study.py [--max-gpus 512] [--scenarios MPI,MPI-Opt]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import SCENARIOS, ScalingStudy, StudyConfig, scenario_by_name
+from repro.core.efficiency import efficiency_gain_points, speedup
+from repro.core.study import PAPER_GPU_COUNTS
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-gpus", type=int, default=512)
+    parser.add_argument(
+        "--scenarios", type=str, default="MPI,MPI-Reg,MPI-Opt,NCCL",
+        help="comma-separated scenario names",
+    )
+    parser.add_argument("--steps", type=int, default=2, help="measured steps/point")
+    args = parser.parse_args()
+
+    gpu_counts = [g for g in PAPER_GPU_COUNTS if g <= args.max_gpus]
+    scenarios = [scenario_by_name(n) for n in args.scenarios.split(",")]
+    config = StudyConfig(measure_steps=args.steps)
+
+    results = {}
+    for scenario in scenarios:
+        print(f"running {scenario.name}: {scenario.description}")
+        study = ScalingStudy(scenario, config)
+        results[scenario.name] = study.run(gpu_counts)
+
+    throughput = TextTable(
+        ["GPUs"] + [s.name for s in scenarios],
+        title="\nTraining throughput, images/second (paper Figs. 10 & 12)",
+    )
+    for i, gpus in enumerate(gpu_counts):
+        throughput.add_row(
+            gpus, *[f"{results[s.name][i].images_per_second:.1f}" for s in scenarios]
+        )
+    print(throughput.render())
+
+    efficiency = TextTable(
+        ["GPUs"] + [s.name for s in scenarios],
+        title="\nScaling efficiency vs. 1 GPU (paper Fig. 13)",
+    )
+    for i, gpus in enumerate(gpu_counts):
+        efficiency.add_row(
+            gpus, *[f"{results[s.name][i].efficiency:.1%}" for s in scenarios]
+        )
+    print(efficiency.render())
+
+    if {"MPI", "MPI-Opt"} <= set(results) and gpu_counts:
+        last = -1
+        default = results["MPI"][last]
+        opt = results["MPI-Opt"][last]
+        print(
+            f"\nAt {gpu_counts[last]} GPUs: MPI-Opt / MPI speedup = "
+            f"{speedup(opt.images_per_second, default.images_per_second):.2f}x "
+            f"(paper: 1.26x); efficiency gain = "
+            f"{efficiency_gain_points(opt.efficiency, default.efficiency):.1f} points "
+            f"(paper: +15.6)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Distributed EDSR training following the paper's §III-A recipe, for real.
+
+Builds a simulated 1-node / 4-GPU Lassen world under the MPI-Opt scenario,
+replicates a tiny EDSR across the ranks, and trains with the full Horovod
+pipeline: parameter broadcast, Tensor-Fusion allreduce of gradients, LR
+scaling.  Verifies the data-parallel invariant (replicas stay bit-identical)
+and reports both the real loss curve and the simulated step timings.
+
+Run:  python examples/train_edsr_distributed.py [--ranks 4] [--steps 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import MPI_OPT, scenario_by_name
+from repro.data import DegradationConfig, SRDataset, SyntheticDiv2k
+from repro.hardware import LASSEN, Cluster
+from repro.horovod import HorovodConfig, HorovodEngine
+from repro.models import EDSR, EDSR_TINY
+from repro.mpi import MpiWorld, WorldSpec
+from repro.sim import Environment
+from repro.trainer import DistributedTrainer, evaluate_sr
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument("--steps", type=int, default=20)
+    parser.add_argument("--scenario", type=str, default="MPI-Opt")
+    parser.add_argument("--batch", type=int, default=2)
+    args = parser.parse_args()
+
+    scenario = scenario_by_name(args.scenario)
+    nodes = max(1, (args.ranks + 3) // 4)
+    cluster = Cluster(Environment(), LASSEN, num_nodes=nodes)
+    spec = WorldSpec(num_ranks=args.ranks, policy=scenario.policy,
+                     config=scenario.mv2)
+    world = MpiWorld(cluster, spec)
+    comm = world.communicator()
+    engine = HorovodEngine(comm, HorovodConfig(cycle_time_s=2e-3))
+    print(f"world: {args.ranks} ranks on {nodes} node(s), scenario {scenario.name}")
+    print(f"  MV2 config: {scenario.mv2.describe()}")
+
+    source = SyntheticDiv2k(height=32, width=32, seed=11)
+    dataset = SRDataset(source, split="train",
+                        degradation=DegradationConfig(scale=2))
+
+    trainer = DistributedTrainer(
+        lambda rank: EDSR(EDSR_TINY, rng=np.random.default_rng(100 + rank)),
+        engine,
+        dataset,
+        batch_per_rank=args.batch,
+        lr_patch=8,
+        base_lr=5e-4,
+    )
+    print(f"replicas in sync after broadcast: {trainer.replicas_in_sync()}")
+    result = trainer.train(steps=args.steps)
+    print(
+        f"trained {result.steps} steps: loss {result.losses[0]:.4f} -> "
+        f"{result.final_loss:.4f}"
+    )
+    print(f"replicas still in sync: {trainer.replicas_in_sync()}")
+    mean_sim_step = float(np.mean(result.simulated_step_times))
+    print(f"mean simulated step time: {mean_sim_step * 1e3:.1f} ms "
+          f"(comm via {scenario.backend} backend)")
+
+    val = SRDataset(source, split="val", degradation=DegradationConfig(scale=2))
+    metrics = evaluate_sr(trainer.models[0], val, max_images=3)
+    print(f"validation: PSNR {metrics['psnr']:.2f} dB, SSIM {metrics['ssim']:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Horovod tuning step (§II-D).
+
+"For all evaluations in this paper, the HOROVOD_FUSION_THRESHOLD and
+HOROVOD_CYCLE_TIME are carefully tuned at each scale to maximize training
+throughput" — this example runs that grid search for a chosen scenario and
+GPU count and prints the full grid plus the winner.
+
+Run:  python examples/tune_horovod.py [--gpus 16] [--scenario MPI-Opt]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import HorovodTuner, StudyConfig, scenario_by_name
+from repro.utils.tables import TextTable
+from repro.utils.units import MIB, format_bytes
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gpus", type=int, default=16)
+    parser.add_argument("--scenario", type=str, default="MPI-Opt")
+    parser.add_argument(
+        "--thresholds", type=str, default="32,64,128",
+        help="fusion thresholds in MiB, comma-separated",
+    )
+    parser.add_argument(
+        "--cycles", type=str, default="3.5,10,25,55",
+        help="cycle times in ms, comma-separated",
+    )
+    args = parser.parse_args()
+
+    scenario = scenario_by_name(args.scenario)
+    thresholds = tuple(int(float(t)) * MIB for t in args.thresholds.split(","))
+    cycles = tuple(float(c) * 1e-3 for c in args.cycles.split(","))
+
+    print(
+        f"tuning Horovod for {scenario.name} at {args.gpus} GPUs "
+        f"({len(thresholds) * len(cycles)} grid points)..."
+    )
+    tuner = HorovodTuner(
+        scenario,
+        thresholds=thresholds,
+        cycle_times=cycles,
+        base_config=StudyConfig(measure_steps=1),
+    )
+    result = tuner.tune(args.gpus)
+
+    table = TextTable(
+        ["Fusion threshold", "Cycle time (ms)", "images/s"],
+        title=f"Horovod tuning grid — {scenario.name}, {args.gpus} GPUs",
+    )
+    for threshold, cycle, rate in sorted(result.grid, key=lambda r: -r[2]):
+        marker = "  <-- best" if rate == result.best_images_per_second else ""
+        table.add_row(
+            format_bytes(threshold), f"{cycle * 1e3:.1f}", f"{rate:.1f}{marker}"
+        )
+    print(table.render())
+    print(
+        f"\nbest: threshold={format_bytes(result.best.fusion_threshold)}, "
+        f"cycle={result.best.cycle_time_s * 1e3:.1f} ms -> "
+        f"{result.best_images_per_second:.1f} img/s"
+    )
+
+
+if __name__ == "__main__":
+    main()

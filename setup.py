@@ -1,0 +1,7 @@
+"""Setuptools shim so `python setup.py develop` works in offline
+environments lacking the `wheel` package (PEP 660 editable installs need
+it). `pip install -e .` uses pyproject.toml when wheel is available."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro: reproduction of "Scaling Single-Image Super-Resolution Training on
+Modern HPC Clusters: Early Experiences" (Anthony, Xu, Subramoni, Panda;
+IPDPS-W 2021).
+
+The package stacks, bottom to top (paper Fig. 3):
+
+``repro.sim``       discrete-event engine
+``repro.hardware``  Lassen-like cluster (V100 nodes, NVLink, EDR IB)
+``repro.cuda``      CUDA runtime semantics incl. IPC visibility rules
+``repro.net``       InfiniBand registration cache / RDMA protocol costs
+``repro.mpi``       CUDA-aware MPI (MVAPICH2-GDR-like)
+``repro.nccl``      NCCL-like backend
+``repro.tensor``    numpy autograd DL framework
+``repro.models``    EDSR + baselines, analytic cost structures
+``repro.data``      synthetic DIV2K pipeline; ``repro.metrics`` PSNR/SSIM
+``repro.horovod``   data-parallel middleware with Tensor Fusion
+``repro.profiling`` hvprof
+``repro.core``      the paper's scenarios / scaling studies / methodology
+``repro.trainer``   functional training loops
+
+Quick start::
+
+    from repro.core import MPI_OPT, ScalingStudy
+    point = ScalingStudy(MPI_OPT).run_point(num_gpus=512)
+    print(point.images_per_second)
+"""
+
+from repro.version import __version__
+from repro.errors import ReproError
+
+__all__ = ["__version__", "ReproError"]

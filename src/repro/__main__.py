@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin wrappers over the library for the common reproduction workflows:
+
+* ``python -m repro scale --scenario MPI-Opt --gpus 4,32,512``
+* ``python -m repro profile --gpus 4 --steps 100``
+* ``python -m repro table1``
+* ``python -m repro fig1``
+* ``python -m repro models``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import (
+    MPI_DEFAULT,
+    MPI_OPT,
+    SCENARIOS,
+    OptimizationPipeline,
+    ScalingStudy,
+    StudyConfig,
+    scenario_by_name,
+)
+from repro.hardware import V100_16GB
+from repro.models import get_model_cost, list_model_costs
+from repro.models.costing import ThroughputModel
+from repro.profiling import Hvprof, comparison_table
+from repro.utils.tables import TextTable
+from repro.utils.units import format_bytes
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    scenario = scenario_by_name(args.scenario)
+    gpu_counts = [int(g) for g in args.gpus.split(",")]
+    study = ScalingStudy(scenario, StudyConfig(measure_steps=args.steps,
+                                               model=args.model))
+    points = study.run(gpu_counts)
+    table = TextTable(
+        ["GPUs", "images/s", "efficiency", "step (ms)"],
+        title=f"Scaling study — {scenario.name} ({args.model})",
+    )
+    for p in points:
+        table.add_row(
+            p.num_gpus, f"{p.images_per_second:.1f}", f"{p.efficiency:.1%}",
+            f"{p.step_time * 1e3:.1f}",
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    config = StudyConfig(measure_steps=args.steps)
+    profiles = {}
+    for scenario in (MPI_DEFAULT, MPI_OPT):
+        hv = Hvprof()
+        ScalingStudy(scenario, config).run_point(args.gpus, hvprof=hv)
+        profiles[scenario.name] = hv
+        print(hv.report(title=f"hvprof — {scenario.name}"))
+    print(comparison_table(profiles["MPI"], profiles["MPI-Opt"]))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    args.gpus, args.steps = 4, 100
+    return cmd_profile(args)
+
+
+def cmd_fig1(_args: argparse.Namespace) -> int:
+    table = TextTable(["Model", "Batch", "images/s"],
+                      title="Fig. 1 — single-V100 throughput")
+    for name, batch in (("edsr-paper", 4), ("resnet-50", 32)):
+        tm = ThroughputModel(get_model_cost(name), V100_16GB)
+        table.add_row(name, batch, f"{tm.images_per_second(batch):.1f}")
+    print(table.render())
+    return 0
+
+
+def cmd_models(_args: argparse.Namespace) -> int:
+    table = TextTable(
+        ["Model", "Params", "Gradient bytes", "Forward GFLOP/img"],
+        title="Registered model cost structures",
+    )
+    for name in list_model_costs():
+        cost = get_model_cost(name)
+        table.add_row(
+            name,
+            f"{cost.total_params / 1e6:.2f}M",
+            format_bytes(cost.gradient_bytes),
+            f"{cost.flops_forward / 1e9:.1f}",
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    report = OptimizationPipeline(num_gpus=args.gpus, steps=args.steps).run()
+    print(report.table())
+    for line in report.diagnosis:
+        print(f"diagnosis: {line}")
+    for line in report.recommendations:
+        print(f"recommend: {line}")
+    print(f"throughput gain: {report.throughput_gain_pct:.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scale = sub.add_parser("scale", help="run a scaling study")
+    scale.add_argument("--scenario", default="MPI-Opt",
+                       choices=[s.name for s in SCENARIOS])
+    scale.add_argument("--gpus", default="4,16,64")
+    scale.add_argument("--steps", type=int, default=2)
+    scale.add_argument("--model", default="edsr-paper")
+    scale.set_defaults(func=cmd_scale)
+
+    profile = sub.add_parser("profile", help="hvprof default vs MPI-Opt")
+    profile.add_argument("--gpus", type=int, default=4)
+    profile.add_argument("--steps", type=int, default=20)
+    profile.set_defaults(func=cmd_profile)
+
+    table1 = sub.add_parser("table1", help="reproduce Table I (100 steps)")
+    table1.set_defaults(func=cmd_table1)
+
+    fig1 = sub.add_parser("fig1", help="reproduce Fig. 1 anchors")
+    fig1.set_defaults(func=cmd_fig1)
+
+    models = sub.add_parser("models", help="list model cost structures")
+    models.set_defaults(func=cmd_models)
+
+    diagnose = sub.add_parser("diagnose", help="run the §III pipeline")
+    diagnose.add_argument("--gpus", type=int, default=4)
+    diagnose.add_argument("--steps", type=int, default=10)
+    diagnose.set_defaults(func=cmd_diagnose)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

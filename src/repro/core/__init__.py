@@ -1,0 +1,53 @@
+"""The paper's core contribution: MPI-level optimization of DLSR training.
+
+This package assembles the substrates into the paper's experiments:
+
+* :mod:`repro.core.scenarios` — the named configurations **MPI**,
+  **MPI-Reg**, **MPI-Opt** (§III-D) and **NCCL**;
+* :mod:`repro.core.visible_devices` — the ``CUDA_VISIBLE_DEVICES`` /
+  ``MV2_VISIBLE_DEVICES`` mechanism (Figs. 6-7);
+* :mod:`repro.core.study` — the end-to-end scaling study harness
+  (Figs. 10-13);
+* :mod:`repro.core.efficiency` — scaling-efficiency math;
+* :mod:`repro.core.pipeline` — the three-phase optimization methodology
+  of §III (distribute -> profile -> optimize);
+* :mod:`repro.core.calibration` — every constant anchored to a number in
+  the paper, in one place.
+"""
+
+from repro.core.scenarios import (
+    SCENARIOS,
+    Scenario,
+    scenario_by_name,
+    MPI_DEFAULT,
+    MPI_REG,
+    MPI_OPT,
+    MPI_ALL_VISIBLE,
+    NCCL_SCENARIO,
+)
+from repro.core.visible_devices import visibility_table
+from repro.core.study import ScalingPoint, ScalingStudy, StudyConfig
+from repro.core.efficiency import scaling_efficiency, speedup
+from repro.core.pipeline import OptimizationPipeline, PipelineReport
+from repro.core.tuning import HorovodTuner, TuningResult
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "scenario_by_name",
+    "MPI_DEFAULT",
+    "MPI_REG",
+    "MPI_OPT",
+    "MPI_ALL_VISIBLE",
+    "NCCL_SCENARIO",
+    "visibility_table",
+    "ScalingStudy",
+    "ScalingPoint",
+    "StudyConfig",
+    "scaling_efficiency",
+    "speedup",
+    "OptimizationPipeline",
+    "PipelineReport",
+    "HorovodTuner",
+    "TuningResult",
+]

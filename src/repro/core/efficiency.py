@@ -1,0 +1,33 @@
+"""Scaling-efficiency math (Fig. 13's y-axis).
+
+Weak scaling with fixed per-GPU batch: ideal throughput at ``p`` GPUs is
+``p x`` the single-GPU throughput, so
+
+``efficiency(p) = images_per_second(p) / (p * images_per_second(1))``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def scaling_efficiency(
+    images_per_second: float, num_gpus: int, single_gpu_rate: float
+) -> float:
+    if num_gpus < 1:
+        raise ConfigError(f"num_gpus must be >= 1, got {num_gpus}")
+    if single_gpu_rate <= 0:
+        raise ConfigError("single_gpu_rate must be > 0")
+    return images_per_second / (num_gpus * single_gpu_rate)
+
+
+def speedup(optimized_rate: float, baseline_rate: float) -> float:
+    """Throughput ratio (the paper's '1.26x' is this number)."""
+    if baseline_rate <= 0:
+        raise ConfigError("baseline_rate must be > 0")
+    return optimized_rate / baseline_rate
+
+
+def efficiency_gain_points(opt_eff: float, default_eff: float) -> float:
+    """Percentage-point gain (the paper's '+15.6%')."""
+    return 100.0 * (opt_eff - default_eff)

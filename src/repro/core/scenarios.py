@@ -1,0 +1,94 @@
+"""The paper's named configurations (§III-D).
+
+Every scenario launches one rank per GPU with
+``CUDA_VISIBLE_DEVICES=local_rank`` (the memory-safe discipline of
+Fig. 6b); they differ only in the MPI layer:
+
+* **MPI** — stock MVAPICH2-GDR under that discipline: CUDA IPC silently
+  lost (host-staged intra-node path), registration cache off;
+* **MPI-Reg** — registration cache enabled (§III-D), IPC still lost;
+* **MPI-Opt** — registration cache **and** the proposed
+  ``MV2_VISIBLE_DEVICES=all``, restoring CUDA IPC for MPI while the
+  framework stays restricted (Fig. 7);
+* **NCCL** — the NCCL backend, which manages IPC itself and is unaffected
+  by the visibility conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.mpi.env import Mv2Config
+from repro.mpi.process import AllDevicesPolicy, DevicePolicy, SingletonDevicePolicy
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully-specified communication configuration."""
+
+    name: str
+    description: str
+    backend: str  # "mpi" | "nccl"
+    mv2: Mv2Config = field(default_factory=Mv2Config)
+    policy: DevicePolicy = field(default_factory=SingletonDevicePolicy)
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("mpi", "nccl"):
+            raise ConfigError(f"backend must be mpi|nccl, got {self.backend!r}")
+
+
+MPI_DEFAULT = Scenario(
+    name="MPI",
+    description="Default MVAPICH2-GDR: IPC lost under CUDA_VISIBLE_DEVICES, "
+    "registration cache disabled",
+    backend="mpi",
+    mv2=Mv2Config(registration_cache=False, mv2_visible_devices=None),
+)
+
+MPI_REG = Scenario(
+    name="MPI-Reg",
+    description="MVAPICH2-GDR with registration cache enabled (IPC still lost)",
+    backend="mpi",
+    mv2=Mv2Config(registration_cache=True, mv2_visible_devices=None),
+)
+
+MPI_OPT = Scenario(
+    name="MPI-Opt",
+    description="Proposed design: registration cache + MV2_VISIBLE_DEVICES=all "
+    "restores CUDA IPC for the MPI layer",
+    backend="mpi",
+    mv2=Mv2Config(registration_cache=True, mv2_visible_devices="all"),
+)
+
+NCCL_SCENARIO = Scenario(
+    name="NCCL",
+    description="NCCL backend (self-managed IPC, unaffected by visibility)",
+    backend="nccl",
+)
+
+#: the pre-MV2_VISIBLE_DEVICES workaround (Fig. 6a): leave every GPU
+#: visible to every process so IPC works — at the cost of one overhead
+#: context per co-located process on every GPU, shrinking the usable batch
+#: range (the Fig. 9 interaction §III-C describes)
+MPI_ALL_VISIBLE = Scenario(
+    name="MPI-AllVisible",
+    description="Legacy workaround: full CUDA_VISIBLE_DEVICES keeps IPC but "
+    "leaves overhead kernels on every GPU",
+    backend="mpi",
+    mv2=Mv2Config(registration_cache=True, mv2_visible_devices=None),
+    policy=AllDevicesPolicy(),
+)
+
+SCENARIOS: tuple[Scenario, ...] = (
+    MPI_DEFAULT, MPI_REG, MPI_OPT, NCCL_SCENARIO, MPI_ALL_VISIBLE,
+)
+
+
+def scenario_by_name(name: str) -> Scenario:
+    for scenario in SCENARIOS:
+        if scenario.name.lower() == name.lower():
+            return scenario
+    raise ConfigError(
+        f"unknown scenario {name!r}; available: {[s.name for s in SCENARIOS]}"
+    )

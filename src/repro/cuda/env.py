@@ -1,0 +1,63 @@
+"""Device-visibility masks (``CUDA_VISIBLE_DEVICES`` semantics).
+
+A mask maps *logical* device ordinals (what the process sees) to *physical*
+ordinals on the node.  ``CUDA_VISIBLE_DEVICES=2,0`` gives a process two
+logical devices where logical 0 is physical 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CudaInvalidDeviceError, ConfigError
+
+
+@dataclass(frozen=True)
+class VisibilityMask:
+    """An ordered subset of a node's physical GPUs."""
+
+    physical: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.physical)) != len(self.physical):
+            raise ConfigError(f"duplicate device in visibility mask {self.physical}")
+        if any(p < 0 for p in self.physical):
+            raise ConfigError(f"negative device ordinal in mask {self.physical}")
+
+    @classmethod
+    def parse(cls, text: str) -> "VisibilityMask":
+        """Parse a ``CUDA_VISIBLE_DEVICES`` string like ``"2,0,3"``."""
+        text = text.strip()
+        if not text:
+            return cls(())
+        try:
+            ordinals = tuple(int(tok) for tok in text.split(","))
+        except ValueError as exc:
+            raise ConfigError(f"bad visibility string {text!r}") from exc
+        return cls(ordinals)
+
+    @classmethod
+    def all_devices(cls, count: int) -> "VisibilityMask":
+        return cls(tuple(range(count)))
+
+    @classmethod
+    def single(cls, physical: int) -> "VisibilityMask":
+        return cls((physical,))
+
+    @property
+    def count(self) -> int:
+        return len(self.physical)
+
+    def to_physical(self, logical: int) -> int:
+        if not 0 <= logical < len(self.physical):
+            raise CudaInvalidDeviceError(
+                f"logical device {logical} out of range; mask exposes "
+                f"{len(self.physical)} device(s)"
+            )
+        return self.physical[logical]
+
+    def sees(self, physical: int) -> bool:
+        return physical in self.physical
+
+    def __str__(self) -> str:
+        return ",".join(str(p) for p in self.physical)

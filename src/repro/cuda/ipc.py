@@ -1,0 +1,39 @@
+"""CUDA inter-process communication handles.
+
+Mirrors the three-step protocol in the paper's §II-A:
+
+1. owner calls ``get_ipc_handle`` (``cuIpcGetMemHandle``) on its buffer;
+2. the handle crosses process boundaries via host communication (free in
+   simulation);
+3. the peer calls ``open_ipc_handle`` (``cuIpcOpenMemHandle``), mapping the
+   buffer so it can ``cuMemcpy`` directly.
+
+Whether step 3 is legal depends on runtime version and visibility — that
+check lives in :meth:`repro.cuda.runtime.CudaRuntime.can_open_ipc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cuda.memory import DeviceAllocation
+from repro.hardware.node import DeviceRef
+
+
+@dataclass(frozen=True)
+class IpcMemHandle:
+    """Opaque handle naming a device buffer owned by another process."""
+
+    allocation_id: int
+    device: DeviceRef
+    nbytes: int
+    owner_pid: int
+
+    @classmethod
+    def for_allocation(cls, alloc: DeviceAllocation) -> "IpcMemHandle":
+        return cls(
+            allocation_id=alloc.buffer_id,
+            device=alloc.device,
+            nbytes=alloc.nbytes,
+            owner_pid=alloc.owner_pid,
+        )

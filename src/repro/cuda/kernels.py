@@ -1,0 +1,61 @@
+"""Roofline kernel cost model.
+
+Kernel duration is the max of the compute-bound and memory-bound estimates
+plus a fixed launch overhead:
+
+``t = overhead + max(flops / sustained_flops, bytes / hbm_bandwidth)``
+
+``sustained_flops`` is the GPU's peak derated by ``sustained_efficiency``
+and further by a per-launch ``utilization`` in [0, 1] supplied by the model
+costing layer (small batches under-fill the SMs; see Fig. 9's low-batch
+regime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.specs import GpuSpec
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """Work description for one kernel."""
+
+    name: str
+    flops: float
+    bytes_accessed: float
+    utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_accessed < 0:
+            raise ConfigError(f"kernel {self.name!r} has negative work")
+        if not 0 < self.utilization <= 1:
+            raise ConfigError(
+                f"kernel {self.name!r} utilization must be in (0,1], got {self.utilization}"
+            )
+
+
+class KernelCostModel:
+    """Maps :class:`KernelLaunch` descriptions to durations on a GPU."""
+
+    def __init__(self, gpu: GpuSpec):
+        self.gpu = gpu
+
+    def duration(self, launch: KernelLaunch) -> float:
+        effective_flops = self.gpu.sustained_fp32_flops * launch.utilization
+        compute_bound = launch.flops / effective_flops if launch.flops else 0.0
+        # Memory-bound side does not scale with occupancy the same way;
+        # assume bandwidth is achievable at any utilization we model.
+        memory_bound = (
+            launch.bytes_accessed / self.gpu.hbm_bandwidth if launch.bytes_accessed else 0.0
+        )
+        return self.gpu.kernel_launch_overhead_s + max(compute_bound, memory_bound)
+
+    def device_reduce_time(self, nbytes: int, dtype_size: int = 4) -> float:
+        """Elementwise sum of two device buffers (used by IPC allreduce)."""
+        elements = nbytes / dtype_size
+        # 1 FLOP per element; 3 memory ops per element (2 loads, 1 store).
+        launch = KernelLaunch("reduce", flops=elements, bytes_accessed=3 * nbytes)
+        return self.duration(launch)

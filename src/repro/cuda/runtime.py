@@ -1,0 +1,280 @@
+"""Simulated CUDA runtime and per-process contexts.
+
+The two behaviours from the paper's §III-C live here:
+
+* **Overhead kernels (Fig. 6a).**  Creating a context on a device consumes
+  ``GpuSpec.context_overhead_bytes`` of HBM.  Undisciplined Python libraries
+  "aggressively allocate GPU memory on all available devices" — modelled by
+  :meth:`CudaContext.touch_all_visible`, which instantiates a context on
+  every device in the process's mask.  With 4 processes per node each seeing
+  4 GPUs, every GPU carries 4 contexts instead of 1.
+
+* **IPC visibility rule (Fig. 6b / §III-C).**  Before CUDA 10.1, a process
+  could only open an IPC handle for a device *in its own visible set*; i.e.
+  ``CUDA_VISIBLE_DEVICES=local_rank`` made IPC between distinct GPUs
+  impossible and forced MPI to stage through host memory.  From 10.1 the
+  restriction is lifted: :meth:`CudaRuntime.can_open_ipc` implements both.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import (
+    CudaError,
+    CudaInvalidDeviceError,
+    CudaIpcError,
+    CudaOutOfMemoryError,
+)
+from repro.cuda.env import VisibilityMask
+from repro.cuda.ipc import IpcMemHandle
+from repro.cuda.kernels import KernelCostModel
+from repro.cuda.memory import DeviceAllocation
+from repro.cuda.stream import Stream
+from repro.hardware.cluster import Cluster
+from repro.hardware.memory import PoolExhaustedError
+from repro.hardware.node import DeviceRef
+
+#: one-time cost of cuIpcOpenMemHandle (cached per buffer by transports)
+IPC_OPEN_OVERHEAD_S = 35e-6
+
+
+@dataclass(frozen=True, order=True)
+class CudaVersion:
+    """CUDA toolkit/driver version, e.g. ``CudaVersion(10, 2)``."""
+
+    major: int
+    minor: int = 0
+
+    @classmethod
+    def parse(cls, text: str) -> "CudaVersion":
+        parts = text.strip().split(".")
+        try:
+            major = int(parts[0])
+            minor = int(parts[1]) if len(parts) > 1 else 0
+        except (ValueError, IndexError) as exc:
+            raise CudaError(f"bad CUDA version string {text!r}") from exc
+        return cls(major, minor)
+
+    @property
+    def supports_cross_visibility_ipc(self) -> bool:
+        """CUDA >= 10.1: IPC works even if the peer device is masked out."""
+        return (self.major, self.minor) >= (10, 1)
+
+    def __str__(self) -> str:
+        return f"{self.major}.{self.minor}"
+
+
+#: the paper's software stack uses CUDA 10.2
+DEFAULT_CUDA_VERSION = CudaVersion(10, 2)
+
+
+class CudaRuntime:
+    """Node-level runtime: owns physical devices and the IPC legality rule."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        node_id: int,
+        version: CudaVersion = DEFAULT_CUDA_VERSION,
+    ):
+        self.cluster = cluster
+        self.node = cluster.nodes[node_id]
+        self.node_id = node_id
+        self.version = version
+        self.kernel_model = KernelCostModel(cluster.spec.node.gpu)
+        self._contexts: list["CudaContext"] = []
+
+    @property
+    def physical_device_count(self) -> int:
+        return len(self.node.gpu_refs)
+
+    def physical_ref(self, physical: int) -> DeviceRef:
+        if not 0 <= physical < self.physical_device_count:
+            raise CudaInvalidDeviceError(
+                f"physical device {physical} out of range on node {self.node_id}"
+            )
+        return self.node.gpu_refs[physical]
+
+    def create_context(self, pid: int, mask: VisibilityMask) -> "CudaContext":
+        for physical in mask.physical:
+            if physical >= self.physical_device_count:
+                raise CudaInvalidDeviceError(
+                    f"mask {mask} references physical device {physical}, node has "
+                    f"{self.physical_device_count}"
+                )
+        ctx = CudaContext(self, pid, mask)
+        self._contexts.append(ctx)
+        return ctx
+
+    def can_open_ipc(self, opener: "CudaContext", handle: IpcMemHandle) -> bool:
+        """May ``opener`` map the buffer named by ``handle``?"""
+        if handle.device.node != self.node_id:
+            return False  # IPC is intra-node only
+        if handle.owner_pid == opener.pid:
+            return False  # IPC is for *inter*-process sharing
+        if self.version.supports_cross_visibility_ipc:
+            return True
+        # Legacy rule: the target device must be visible to the opener.
+        return opener.mask.sees(handle.device.index)
+
+    def __repr__(self) -> str:
+        return f"<CudaRuntime node={self.node_id} CUDA {self.version}>"
+
+
+class CudaContext:
+    """Per-process view of a node's GPUs under a visibility mask."""
+
+    _pids = itertools.count(1)
+
+    def __init__(self, runtime: CudaRuntime, pid: int, mask: VisibilityMask):
+        self.runtime = runtime
+        self.pid = pid
+        self.mask = mask
+        self._current_logical: Optional[int] = 0 if mask.count else None
+        # physical ordinal -> HBM block for this process's context
+        self._context_blocks: dict[int, object] = {}
+        self._live: set[DeviceAllocation] = set()
+        self._opened_handles: set[int] = set()
+        self._streams: dict[int, Stream] = {}
+
+    # -- device selection --------------------------------------------------
+    def device_count(self) -> int:
+        return self.mask.count
+
+    def set_device(self, logical: int) -> None:
+        self.mask.to_physical(logical)  # validates
+        self._current_logical = logical
+
+    @property
+    def current_physical(self) -> int:
+        if self._current_logical is None:
+            raise CudaInvalidDeviceError(
+                f"process {self.pid} has no visible devices (mask={self.mask})"
+            )
+        return self.mask.to_physical(self._current_logical)
+
+    @property
+    def current_ref(self) -> DeviceRef:
+        return self.runtime.physical_ref(self.current_physical)
+
+    def default_stream(self) -> Stream:
+        phys = self.current_physical
+        if phys not in self._streams:
+            self._streams[phys] = Stream(
+                self.current_ref, name=f"pid{self.pid}:dev{phys}:default"
+            )
+        return self._streams[phys]
+
+    # -- context creation (overhead kernels) --------------------------------
+    def ensure_context(self, physical: int) -> None:
+        """Create the CUDA context on a device, consuming HBM (Fig. 6a)."""
+        if physical in self._context_blocks:
+            return
+        ref = self.runtime.physical_ref(physical)
+        pool = self.runtime.node.gpu_memory[ref]
+        try:
+            block = pool.alloc(
+                self.runtime.cluster.spec.node.gpu.context_overhead_bytes,
+                tag=f"cuda-context:pid{self.pid}",
+            )
+        except PoolExhaustedError as exc:
+            raise CudaOutOfMemoryError(str(exc)) from exc
+        self._context_blocks[physical] = block
+
+    def touch_all_visible(self) -> int:
+        """Aggressive-library behaviour: spawn a context on *every* visible GPU.
+
+        Returns the number of overhead contexts created.  This is what
+        PyTorch/Horovod do absent ``CUDA_VISIBLE_DEVICES`` discipline and is
+        the memory-pressure mechanism of the paper's Fig. 6a.
+        """
+        created = 0
+        for physical in self.mask.physical:
+            if physical not in self._context_blocks:
+                self.ensure_context(physical)
+                created += 1
+        return created
+
+    def context_device_ordinals(self) -> tuple[int, ...]:
+        return tuple(sorted(self._context_blocks))
+
+    # -- memory --------------------------------------------------------------
+    def malloc(self, nbytes: int, tag: str = "tensor") -> DeviceAllocation:
+        physical = self.current_physical
+        self.ensure_context(physical)
+        ref = self.runtime.physical_ref(physical)
+        pool = self.runtime.node.gpu_memory[ref]
+        try:
+            block = pool.alloc(nbytes, tag=f"{tag}:pid{self.pid}")
+        except PoolExhaustedError as exc:
+            raise CudaOutOfMemoryError(str(exc)) from exc
+        alloc = DeviceAllocation(
+            device=ref, nbytes=nbytes, tag=tag, block=block, owner_pid=self.pid
+        )
+        self._live.add(alloc)
+        return alloc
+
+    def free(self, alloc: DeviceAllocation) -> None:
+        if alloc.freed or alloc not in self._live:
+            raise CudaError(f"invalid free of {alloc!r} by pid {self.pid}")
+        pool = self.runtime.node.gpu_memory[alloc.device]
+        pool.free_block(alloc.block)
+        alloc.freed = True
+        self._live.discard(alloc)
+
+    def free_device_memory(self) -> int:
+        """Bytes still allocatable on the current device."""
+        return self.runtime.node.gpu_memory[self.current_ref].free
+
+    # -- IPC -------------------------------------------------------------------
+    def get_ipc_handle(self, alloc: DeviceAllocation) -> IpcMemHandle:
+        if alloc.owner_pid != self.pid:
+            raise CudaIpcError(
+                f"pid {self.pid} cannot export buffer owned by pid {alloc.owner_pid}"
+            )
+        if alloc.freed:
+            raise CudaIpcError("cannot export a freed buffer")
+        return IpcMemHandle.for_allocation(alloc)
+
+    def open_ipc_handle(self, handle: IpcMemHandle) -> IpcMemHandle:
+        if not self.runtime.can_open_ipc(self, handle):
+            raise CudaIpcError(
+                f"pid {self.pid} (mask={self.mask}, CUDA {self.runtime.version}) "
+                f"cannot open IPC handle on {handle.device}"
+            )
+        self._opened_handles.add(handle.allocation_id)
+        return handle
+
+    def has_open_handle(self, handle: IpcMemHandle) -> bool:
+        return handle.allocation_id in self._opened_handles
+
+    # -- copies ------------------------------------------------------------------
+    def memcpy_time(self, src: DeviceRef, dst: DeviceRef, nbytes: int) -> float:
+        """Uncontended duration of a cudaMemcpy between two device refs."""
+        return self.runtime.cluster.path_cost(src, dst, nbytes)
+
+    def d2h_time(self, nbytes: int) -> float:
+        """Device-to-host copy time for the current device."""
+        gpu = self.current_ref
+        node = self.runtime.node
+        cpu = node.cpu_refs[node.socket_of_gpu(gpu.index)]
+        return self.runtime.cluster.path_cost(gpu, cpu, nbytes)
+
+    def h2d_time(self, nbytes: int) -> float:
+        return self.d2h_time(nbytes)  # symmetric links
+
+    # -- teardown -------------------------------------------------------------
+    def destroy(self) -> None:
+        """Release all live allocations and contexts (process exit)."""
+        for alloc in list(self._live):
+            self.free(alloc)
+        for physical, block in self._context_blocks.items():
+            ref = self.runtime.physical_ref(physical)
+            self.runtime.node.gpu_memory[ref].free_block(block)
+        self._context_blocks.clear()
+
+    def __repr__(self) -> str:
+        return f"<CudaContext pid={self.pid} mask={self.mask} node={self.runtime.node_id}>"

@@ -1,0 +1,49 @@
+"""CUDA streams: in-order work queues per device.
+
+In analytic mode we only need the stream's *busy-until* horizon: enqueueing
+work of duration ``d`` at time ``t`` completes at ``max(t, busy_until) + d``.
+This reproduces serialization of kernels and copies on one stream without
+event-engine overhead, and is exact for in-order queues.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.hardware.node import DeviceRef
+
+
+class Stream:
+    """In-order execution queue attached to one device."""
+
+    _ids = itertools.count()
+
+    def __init__(self, device: DeviceRef, name: str = ""):
+        self.device = device
+        self.stream_id = next(self._ids)
+        self.name = name or f"stream{self.stream_id}"
+        self.busy_until = 0.0
+        self.work_items = 0
+        self.busy_time = 0.0
+
+    def enqueue(self, now: float, duration: float) -> float:
+        """Enqueue work of ``duration`` at wall-time ``now``; return finish time."""
+        if duration < 0:
+            raise ValueError(f"negative work duration {duration}")
+        start = max(now, self.busy_until)
+        self.busy_until = start + duration
+        self.work_items += 1
+        self.busy_time += duration
+        return self.busy_until
+
+    def synchronize(self, now: float) -> float:
+        """Return the time at which all enqueued work has drained."""
+        return max(now, self.busy_until)
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+        self.work_items = 0
+        self.busy_time = 0.0
+
+    def __repr__(self) -> str:
+        return f"<Stream {self.name!r} on {self.device} busy_until={self.busy_until:.6f}>"

@@ -1,0 +1,26 @@
+"""Data pipeline: synthetic DIV2K-like dataset, degradation, patches, loaders.
+
+The paper trains on DIV2K (800 train / 100 val / 100 test HR images).  We
+cannot ship DIV2K, so :mod:`repro.data.synthetic` procedurally generates
+photo-statistics-like HR images (multi-octave value noise + edges +
+gradients); the LR side is produced by the same bicubic degradation DIV2K
+uses.  The *workload* (patch geometry, batch composition, bytes/step) is
+what the paper's evaluation measures, and that is preserved exactly.
+"""
+
+from repro.data.synthetic import SyntheticDiv2k
+from repro.data.degradation import DegradationConfig, degrade
+from repro.data.patches import sample_patch_pair
+from repro.data.dataset import SRDataset
+from repro.data.sampler import DistributedSampler
+from repro.data.loader import PatchLoader
+
+__all__ = [
+    "SyntheticDiv2k",
+    "DegradationConfig",
+    "degrade",
+    "sample_patch_pair",
+    "SRDataset",
+    "DistributedSampler",
+    "PatchLoader",
+]

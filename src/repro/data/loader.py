@@ -1,0 +1,59 @@
+"""Patch-batch loader for SR training."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import SRDataset
+from repro.data.patches import augment_pair, sample_patch_pair
+from repro.data.sampler import DistributedSampler
+from repro.errors import DataError
+
+
+class PatchLoader:
+    """Yields (lr_batch, hr_batch) float32 arrays in NCHW.
+
+    Each batch draws ``batch_size`` random patches from this rank's shard,
+    matching EDSR's random-crop training regime.
+    """
+
+    def __init__(
+        self,
+        dataset: SRDataset,
+        *,
+        batch_size: int,
+        lr_patch: int,
+        sampler: DistributedSampler | None = None,
+        augment: bool = True,
+        seed: int = 0,
+    ):
+        if batch_size < 1:
+            raise DataError("batch_size must be >= 1")
+        if lr_patch < 4:
+            raise DataError("lr_patch must be >= 4")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.lr_patch = lr_patch
+        self.sampler = sampler or DistributedSampler(len(dataset), 1, 0, seed=seed)
+        self.augment = augment
+        self._rng = np.random.default_rng(seed + 7919 * (self.sampler.rank + 1))
+
+    def batches(self, num_batches: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``num_batches`` random patch batches from the shard."""
+        shard = self.sampler.indices()
+        scale = self.dataset.scale
+        for _ in range(num_batches):
+            lrs, hrs = [], []
+            for _ in range(self.batch_size):
+                item = int(self._rng.choice(shard))
+                lr, hr = self.dataset[item]
+                lr_crop, hr_crop = sample_patch_pair(
+                    lr, hr, self.lr_patch, scale, self._rng
+                )
+                if self.augment:
+                    lr_crop, hr_crop = augment_pair(lr_crop, hr_crop, self._rng)
+                lrs.append(lr_crop)
+                hrs.append(hr_crop)
+            yield np.stack(lrs), np.stack(hrs)

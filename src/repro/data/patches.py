@@ -1,0 +1,47 @@
+"""Aligned LR/HR patch sampling (the unit of EDSR training)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def sample_patch_pair(
+    lr: np.ndarray,
+    hr: np.ndarray,
+    lr_patch: int,
+    scale: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random aligned crop: (C, p, p) from LR, (C, p*s, p*s) from HR."""
+    if lr.ndim != 3 or hr.ndim != 3:
+        raise DataError("patch sampling expects (C,H,W) images")
+    _, lh, lw = lr.shape
+    _, hh, hw = hr.shape
+    if hh != lh * scale or hw != lw * scale:
+        raise DataError(
+            f"HR {hr.shape} is not {scale}x the LR {lr.shape}"
+        )
+    if lr_patch > lh or lr_patch > lw:
+        raise DataError(f"patch {lr_patch} larger than LR image {lr.shape}")
+    y = int(rng.integers(0, lh - lr_patch + 1))
+    x = int(rng.integers(0, lw - lr_patch + 1))
+    lr_crop = lr[:, y : y + lr_patch, x : x + lr_patch]
+    hy, hx = y * scale, x * scale
+    hr_crop = hr[:, hy : hy + lr_patch * scale, hx : hx + lr_patch * scale]
+    return lr_crop, hr_crop
+
+
+def augment_pair(
+    lr: np.ndarray, hr: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Standard SR augmentation: random flips and 90-degree rotation."""
+    if rng.random() < 0.5:
+        lr, hr = lr[:, :, ::-1], hr[:, :, ::-1]
+    if rng.random() < 0.5:
+        lr, hr = lr[:, ::-1, :], hr[:, ::-1, :]
+    if rng.random() < 0.5:
+        lr = np.rot90(lr, axes=(1, 2))
+        hr = np.rot90(hr, axes=(1, 2))
+    return np.ascontiguousarray(lr), np.ascontiguousarray(hr)

@@ -1,0 +1,53 @@
+"""Distributed sampler: shards a dataset across data-parallel ranks.
+
+Mirrors ``torch.utils.data.DistributedSampler``: every rank sees a
+disjoint, equally-sized shard of a per-epoch shuffled permutation (padded
+by wrap-around so all ranks take the same number of steps — the lock-step
+requirement of synchronous data parallelism, paper §II-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.utils.seeding import derive_seed
+
+
+class DistributedSampler:
+    def __init__(
+        self,
+        dataset_size: int,
+        num_ranks: int,
+        rank: int,
+        *,
+        shuffle: bool = True,
+        seed: int = 0,
+    ):
+        if dataset_size < 1:
+            raise DataError("dataset_size must be >= 1")
+        if not 0 <= rank < num_ranks:
+            raise DataError(f"rank {rank} out of range for {num_ranks} ranks")
+        self.dataset_size = dataset_size
+        self.num_ranks = num_ranks
+        self.rank = rank
+        self.shuffle = shuffle
+        self.seed = seed
+        self.epoch = 0
+
+    def set_epoch(self, epoch: int) -> None:
+        self.epoch = epoch
+
+    @property
+    def samples_per_rank(self) -> int:
+        return -(-self.dataset_size // self.num_ranks)
+
+    def indices(self) -> list[int]:
+        """This rank's shard for the current epoch."""
+        order = np.arange(self.dataset_size)
+        if self.shuffle:
+            rng = np.random.default_rng(derive_seed(self.seed, "epoch", self.epoch))
+            rng.shuffle(order)
+        total = self.samples_per_rank * self.num_ranks
+        padded = np.resize(order, total)  # wrap-around padding
+        return padded[self.rank : total : self.num_ranks].tolist()

@@ -1,0 +1,42 @@
+"""Hardware models: GPUs, CPUs, links, nodes, and cluster topology.
+
+The default presets model the LLNL *Lassen* system used in the paper
+(4 × V100 per node, NVLink2 intra-node, EDR InfiniBand fat-tree) plus the
+TACC *Longhorn* system mentioned in §IV-A.
+"""
+
+from repro.hardware.specs import (
+    CpuSpec,
+    GpuSpec,
+    LinkSpec,
+    NodeSpec,
+    ClusterSpec,
+    LASSEN,
+    LONGHORN,
+    V100_16GB,
+    POWER9,
+)
+from repro.hardware.memory import MemoryBlock, MemoryPool, PoolExhaustedError
+from repro.hardware.links import Link, LinkKind
+from repro.hardware.node import DeviceRef, Node
+from repro.hardware.cluster import Cluster
+
+__all__ = [
+    "GpuSpec",
+    "CpuSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "LASSEN",
+    "LONGHORN",
+    "V100_16GB",
+    "POWER9",
+    "MemoryPool",
+    "MemoryBlock",
+    "PoolExhaustedError",
+    "Link",
+    "LinkKind",
+    "Node",
+    "DeviceRef",
+    "Cluster",
+]

@@ -1,0 +1,194 @@
+"""Cluster model: nodes plus the InfiniBand fabric.
+
+The fabric is a full-bisection fat-tree (Lassen/Longhorn both are), so the
+core is modelled as non-blocking: an inter-node message contends only for
+the source node's HCA uplink and the destination node's HCA downlink.
+``oversubscription > 1`` in the spec derates the per-port bandwidth to model
+tapered networks.
+
+Transfers are *pipelined* (wormhole) across multi-hop routes: total time is
+``sum(alpha_i) + nbytes / min(bandwidth_i)``, with every hop's directional
+channel held for the duration so congestion propagates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Generator
+
+from repro.errors import HardwareError
+from repro.sim.engine import Environment
+from repro.hardware.links import Link, LinkKind
+from repro.hardware.node import DeviceKind, DeviceRef, Node
+from repro.hardware.specs import ClusterSpec
+
+#: sentinel endpoint for the non-blocking switch core
+CORE = "ib-core"
+
+
+class Cluster:
+    """A set of nodes wired to a fat-tree core."""
+
+    def __init__(self, env: Environment, spec: ClusterSpec, num_nodes: int):
+        if num_nodes < 1:
+            raise HardwareError(f"num_nodes must be >= 1, got {num_nodes}")
+        if num_nodes > spec.max_nodes:
+            raise HardwareError(
+                f"{spec.name} has {spec.max_nodes} nodes, requested {num_nodes}"
+            )
+        self.env = env
+        self.spec = spec
+        self.nodes = [Node(env, i, spec.node) for i in range(num_nodes)]
+        ib_spec = spec.ib
+        if spec.oversubscription != 1.0:
+            ib_spec = replace(
+                ib_spec, bandwidth=ib_spec.bandwidth / spec.oversubscription
+            )
+        self._ib_links = [
+            Link(env, ib_spec, LinkKind.IB, node.hca_ref, CORE) for node in self.nodes
+        ]
+
+    # -- device addressing -------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.spec.node.gpus_per_node
+
+    @property
+    def num_gpus(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    def gpu_ref(self, global_gpu: int) -> DeviceRef:
+        """Map a flat GPU index (MPI-rank order) to its device ref."""
+        if not 0 <= global_gpu < self.num_gpus:
+            raise HardwareError(f"gpu index {global_gpu} out of range (n={self.num_gpus})")
+        node, local = divmod(global_gpu, self.gpus_per_node)
+        return self.nodes[node].gpu_refs[local]
+
+    def node_of(self, ref: DeviceRef) -> Node:
+        return self.nodes[ref.node]
+
+    def same_node(self, a: DeviceRef, b: DeviceRef) -> bool:
+        return a.node == b.node
+
+    def same_socket(self, a: DeviceRef, b: DeviceRef) -> bool:
+        if a.node != b.node:
+            return False
+        if a.kind is not DeviceKind.GPU or b.kind is not DeviceKind.GPU:
+            return False
+        node = self.nodes[a.node]
+        return node.socket_of_gpu(a.index) == node.socket_of_gpu(b.index)
+
+    def gpu_memory(self, ref: DeviceRef):
+        if ref.kind is not DeviceKind.GPU:
+            raise HardwareError(f"{ref} is not a GPU")
+        return self.nodes[ref.node].gpu_memory[ref]
+
+    # -- routing -----------------------------------------------------------
+    def route(self, src: DeviceRef, dst: DeviceRef) -> list[tuple[Link, object, object]]:
+        """Return the hop list [(link, from, to), ...] from src to dst."""
+        if src == dst:
+            return []
+        if src.node == dst.node:
+            node = self.nodes[src.node]
+            hops = []
+            here: object = src
+            for link in node.route(src, dst):
+                there = link.other(here)
+                hops.append((link, here, there))
+                here = there
+            return hops
+        src_node, dst_node = self.nodes[src.node], self.nodes[dst.node]
+        hops: list[tuple[Link, object, object]] = []
+        here = src
+        for link in src_node.route(src, src_node.hca_ref):
+            there = link.other(here)
+            hops.append((link, here, there))
+            here = there
+        hops.append((self._ib_links[src.node], src_node.hca_ref, CORE))
+        hops.append((self._ib_links[dst.node], CORE, dst_node.hca_ref))
+        here = dst_node.hca_ref
+        for link in dst_node.route(dst_node.hca_ref, dst):
+            there = link.other(here)
+            hops.append((link, here, there))
+            here = there
+        return hops
+
+    def path_cost(self, src: DeviceRef, dst: DeviceRef, nbytes: int) -> float:
+        """Uncontended pipelined transfer time along the route."""
+        hops = self.route(src, dst)
+        if not hops:
+            return 0.0
+        alpha = sum(link.spec.latency_s for link, _, _ in hops)
+        bottleneck = min(link.spec.bandwidth for link, _, _ in hops)
+        return alpha + nbytes / bottleneck
+
+    def path_bandwidth(self, src: DeviceRef, dst: DeviceRef) -> float:
+        hops = self.route(src, dst)
+        if not hops:
+            return float("inf")
+        return min(link.spec.bandwidth for link, _, _ in hops)
+
+    def transfer(self, src: DeviceRef, dst: DeviceRef, nbytes: int) -> Generator:
+        """Simulation process: move ``nbytes`` src -> dst, holding all hops.
+
+        Channels are acquired in route order (consistent ordering avoids
+        deadlock among concurrent transfers).
+        """
+        hops = self.route(src, dst)
+        if not hops:
+            return
+        duration = self.path_cost(src, dst, nbytes)
+        held = []
+        try:
+            for link, frm, to in hops:
+                yield link.channel(frm, to).request()
+                held.append(link.channel(frm, to))
+            yield self.env.timeout(duration)
+            for link, _, _ in hops:
+                link.bytes_carried += nbytes
+                link.transfer_count += 1
+        finally:
+            for channel in reversed(held):
+                channel.release()
+
+    # -- host-side costs -----------------------------------------------------
+    def host_memcpy_time(self, node_id: int, nbytes: int) -> float:
+        """Cost of one CPU memcpy (staging copy) of ``nbytes`` on a node."""
+        return nbytes / self.nodes[node_id].spec.cpu.memcpy_bandwidth
+
+    def host_reduce_time(self, node_id: int, nbytes: int, dtype_size: int = 4) -> float:
+        """Cost of an elementwise sum of two ``nbytes`` buffers on the CPU."""
+        elements = nbytes / dtype_size
+        return elements / self.nodes[node_id].spec.cpu.reduce_flops
+
+    def link_utilization_report(self) -> dict[str, int]:
+        """Total bytes carried per link kind (for contention analysis)."""
+        totals: dict[str, int] = {}
+        for node in self.nodes:
+            for link in node.links:
+                totals[link.kind.value] = (
+                    totals.get(link.kind.value, 0) + link.bytes_carried
+                )
+        for link in self._ib_links:
+            totals[link.kind.value] = totals.get(link.kind.value, 0) + link.bytes_carried
+        return totals
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cluster {self.spec.name!r} nodes={self.num_nodes} "
+            f"gpus={self.num_gpus}>"
+        )
+
+
+def build_cluster(
+    spec: ClusterSpec, num_gpus: int, env: Environment | None = None
+) -> Cluster:
+    """Convenience: build the smallest cluster holding ``num_gpus`` GPUs."""
+    env = env or Environment()
+    per = spec.node.gpus_per_node
+    nodes = (num_gpus + per - 1) // per
+    return Cluster(env, spec, nodes)

@@ -1,0 +1,101 @@
+"""Contended link instances on top of :class:`~repro.hardware.specs.LinkSpec`.
+
+A :class:`Link` owns one :class:`~repro.sim.resources.Resource` per
+direction (full-duplex) or a single shared resource (half-duplex).  A
+transfer claims its directional channel for ``alpha + n/B`` seconds, so two
+simultaneous same-direction transfers serialize — the mechanism behind
+intra-node congestion when four ranks stage through the same CPU.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator
+
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+from repro.hardware.specs import LinkSpec
+
+
+class LinkKind(enum.Enum):
+    """Physical class of a link; used by transports to pick routes."""
+
+    NVLINK_P2P = "nvlink-p2p"
+    NVLINK_CPU = "nvlink-cpu"
+    XBUS = "x-bus"
+    PCIE = "pcie"
+    IB = "ib"
+    HOST_MEM = "host-mem"
+
+
+class Link:
+    """One physical link between two endpoints.
+
+    ``endpoints`` are opaque hashable ids (DeviceRef or node ids); direction
+    keys are the ordered endpoint pair.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: LinkSpec,
+        kind: LinkKind,
+        a: object,
+        b: object,
+        *,
+        channels: int = 1,
+    ):
+        self.env = env
+        self.spec = spec
+        self.kind = kind
+        self.a = a
+        self.b = b
+        name = f"{kind.value}:{a}<->{b}"
+        if spec.duplex:
+            self._res = {
+                (a, b): Resource(env, capacity=channels, name=name + ":fwd"),
+                (b, a): Resource(env, capacity=channels, name=name + ":rev"),
+            }
+        else:
+            shared = Resource(env, capacity=channels, name=name)
+            self._res = {(a, b): shared, (b, a): shared}
+        self.bytes_carried = 0
+        self.transfer_count = 0
+
+    def other(self, endpoint: object) -> object:
+        if endpoint == self.a:
+            return self.b
+        if endpoint == self.b:
+            return self.a
+        raise KeyError(f"{endpoint!r} is not an endpoint of {self!r}")
+
+    def connects(self, x: object, y: object) -> bool:
+        return {x, y} == {self.a, self.b}
+
+    def channel(self, src: object, dst: object) -> Resource:
+        try:
+            return self._res[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no direction {src!r}->{dst!r} on {self!r}") from None
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Uncontended message cost."""
+        return self.spec.transfer_time(nbytes)
+
+    def transfer(self, src: object, dst: object, nbytes: int) -> Generator:
+        """Simulation process moving ``nbytes`` from ``src`` to ``dst``.
+
+        Claims the directional channel for the whole duration; contention
+        shows up as queueing delay before the alpha-beta cost.
+        """
+        res = self.channel(src, dst)
+        yield res.request()
+        try:
+            yield self.env.timeout(self.transfer_time(nbytes))
+            self.bytes_carried += nbytes
+            self.transfer_count += 1
+        finally:
+            res.release()
+
+    def __repr__(self) -> str:
+        return f"<Link {self.kind.value} {self.a!r}<->{self.b!r} {self.spec.name}>"

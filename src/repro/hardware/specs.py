@@ -1,0 +1,209 @@
+"""Hardware specification records and the Lassen/Longhorn presets.
+
+Bandwidth/latency values come from public documentation of the systems the
+paper evaluated on:
+
+* NVIDIA V100 (SXM2, 16 GB): 15.7 TFLOP/s fp32 peak, 900 GB/s HBM2.
+* Lassen node: IBM Power9 (2 sockets, 44 cores total), 4 × V100, NVLink2
+  (3 bricks/GPU at 25 GB/s/dir/brick -> ~75 GB/s peer or CPU), X-Bus 64 GB/s
+  between sockets, EDR InfiniBand (~12.5 GB/s/port).
+* Longhorn node: identical GPU complement on Power9 with EDR IB.
+
+Sustained efficiencies are intentionally below peak: the paper's measured
+10.3 img/s for EDSR and 360 img/s for ResNet-50 on one V100 back-solve to
+roughly one third of fp32 peak for conv-heavy fp32 training, which is the
+``sustained_efficiency`` default (see ``repro.core.calibration``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.utils.units import GIB, GB, MIB
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of one GPU model."""
+
+    name: str
+    memory_bytes: int
+    peak_fp32_flops: float
+    hbm_bandwidth: float
+    # Fraction of peak a well-tuned conv-stack training step sustains. The
+    # per-model/batch utilization curve further scales this (costing module).
+    sustained_efficiency: float = 0.34
+    # Fixed per-kernel-launch overhead; bounds throughput for tiny batches.
+    kernel_launch_overhead_s: float = 6.0e-6
+    # Bytes of device memory consumed by a bare CUDA context ("overhead
+    # kernel" footprint of Fig. 6a when a process touches a remote GPU).
+    context_overhead_bytes: int = 320 * MIB
+
+    def __post_init__(self) -> None:
+        check_positive("memory_bytes", self.memory_bytes)
+        check_positive("peak_fp32_flops", self.peak_fp32_flops)
+        check_positive("hbm_bandwidth", self.hbm_bandwidth)
+        if not 0 < self.sustained_efficiency <= 1:
+            raise ConfigError(
+                f"sustained_efficiency must be in (0,1], got {self.sustained_efficiency}"
+            )
+
+    @property
+    def sustained_fp32_flops(self) -> float:
+        return self.peak_fp32_flops * self.sustained_efficiency
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of one CPU socket."""
+
+    name: str
+    cores: int
+    memory_bytes: int
+    memcpy_bandwidth: float  # host memcpy / staging-copy bandwidth
+    reduce_flops: float  # elementwise SIMD reduce throughput (for host-staged reduction)
+
+    def __post_init__(self) -> None:
+        check_positive("cores", self.cores)
+        check_positive("memory_bytes", self.memory_bytes)
+        check_positive("memcpy_bandwidth", self.memcpy_bandwidth)
+        check_positive("reduce_flops", self.reduce_flops)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """alpha-beta parameters of one link class."""
+
+    name: str
+    latency_s: float  # alpha
+    bandwidth: float  # beta^-1, bytes/s (effective, not marketing peak)
+    duplex: bool = True  # full-duplex links carry both directions concurrently
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth", self.bandwidth)
+        if self.latency_s < 0:
+            raise ConfigError(f"latency must be >= 0, got {self.latency_s}")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Uncontended alpha + n/B cost of a single message."""
+        return self.latency_s + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Per-node composition: sockets, GPUs, and intra-node link classes."""
+
+    name: str
+    gpu: GpuSpec
+    cpu: CpuSpec
+    gpus_per_node: int = 4
+    sockets: int = 2
+    nvlink_gpu_gpu: LinkSpec = field(
+        default_factory=lambda: LinkSpec("nvlink2-p2p", 1.8e-6, 62.0 * GB)
+    )
+    nvlink_gpu_cpu: LinkSpec = field(
+        default_factory=lambda: LinkSpec("nvlink2-cpu", 1.8e-6, 58.0 * GB)
+    )
+    xbus_cpu_cpu: LinkSpec = field(
+        default_factory=lambda: LinkSpec("x-bus", 0.9e-6, 50.0 * GB)
+    )
+    pcie_cpu_hca: LinkSpec = field(
+        default_factory=lambda: LinkSpec("pcie-hca", 0.9e-6, 14.0 * GB)
+    )
+    # cudaMemcpy to *pageable* host memory (the MPI shared-memory staging
+    # region is pageable): the driver double-buffers through internal pinned
+    # buffers, capping throughput far below NVLink.  This is the mechanism
+    # that makes the non-IPC intra-node path slow.  8.0 GB/s back-solves
+    # from the paper's Table I default allreduce time (~72 ms/step for the
+    # 172 MB gradient set on 4 GPUs) on the NVLink-attached Power9.
+    pageable_copy_bandwidth: float = 8.0 * GB
+    # Concurrent staging copies a node sustains before they serialize
+    # (copy-engine/DRAM concurrency limit shared by all ranks on the node).
+    staging_engines: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive("pageable_copy_bandwidth", self.pageable_copy_bandwidth)
+        if self.staging_engines < 1:
+            raise ConfigError("staging_engines must be >= 1")
+        if self.gpus_per_node < 1:
+            raise ConfigError("gpus_per_node must be >= 1")
+        if self.sockets not in (1, 2):
+            raise ConfigError("only 1- or 2-socket nodes are modelled")
+        if self.gpus_per_node % self.sockets != 0:
+            raise ConfigError("gpus_per_node must divide evenly across sockets")
+
+    @property
+    def gpus_per_socket(self) -> int:
+        return self.gpus_per_node // self.sockets
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Whole-system composition: nodes plus the inter-node fabric."""
+
+    name: str
+    node: NodeSpec
+    max_nodes: int
+    ib: LinkSpec = field(
+        default_factory=lambda: LinkSpec("ib-edr", 1.5e-6, 12.2 * GB)
+    )
+    # Fat-tree with full bisection bandwidth => no core over-subscription,
+    # but >1 models tapered networks.
+    oversubscription: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("max_nodes", self.max_nodes)
+        check_positive("oversubscription", self.oversubscription)
+
+    def with_nodes(self, max_nodes: int) -> "ClusterSpec":
+        return replace(self, max_nodes=max_nodes)
+
+
+V100_16GB = GpuSpec(
+    name="Tesla V100-SXM2-16GB",
+    memory_bytes=16 * GIB,
+    peak_fp32_flops=15.7e12,
+    hbm_bandwidth=900.0 * GB,
+)
+
+POWER9 = CpuSpec(
+    name="IBM Power9 (22c)",
+    cores=22,
+    memory_bytes=128 * GIB,
+    memcpy_bandwidth=24.0 * GB,
+    reduce_flops=150.0e9,
+)
+
+_LASSEN_NODE = NodeSpec(name="lassen-node", gpu=V100_16GB, cpu=POWER9)
+
+LASSEN = ClusterSpec(name="lassen", node=_LASSEN_NODE, max_nodes=792)
+
+_LONGHORN_NODE = NodeSpec(name="longhorn-node", gpu=V100_16GB, cpu=POWER9)
+
+LONGHORN = ClusterSpec(name="longhorn", node=_LONGHORN_NODE, max_nodes=96)
+
+# An x86 DGX-1V-like system for cross-architecture studies: 8 V100s per
+# node in two quads, PCIe-attached CPUs (no NVLink-to-CPU), slower pageable
+# copies than Power9's NVLink-attached memory.
+XEON_DGX = CpuSpec(
+    name="Xeon E5-2698v4",
+    cores=20,
+    memory_bytes=256 * GIB,
+    memcpy_bandwidth=18.0 * GB,
+    reduce_flops=120.0e9,
+)
+
+_DGX1V_NODE = NodeSpec(
+    name="dgx1v-node",
+    gpu=V100_16GB,
+    cpu=XEON_DGX,
+    gpus_per_node=8,
+    sockets=2,
+    nvlink_gpu_cpu=LinkSpec("pcie-gpu", 1.4e-6, 11.0 * GB),  # PCIe x16 gen3
+    xbus_cpu_cpu=LinkSpec("qpi", 1.0e-6, 19.0 * GB),
+    pageable_copy_bandwidth=5.5 * GB,
+)
+
+DGX1V = ClusterSpec(name="dgx1v", node=_DGX1V_NODE, max_nodes=64)

@@ -1,0 +1,38 @@
+"""Backend factory: build an MPI or NCCL communicator for Horovod."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.hardware.cluster import Cluster
+from repro.mpi.collectives import ExecutionMode
+from repro.mpi.comm import MpiWorld
+from repro.mpi.process import WorldSpec
+from repro.nccl.communicator import NcclWorld
+
+
+def build_backend(
+    cluster: Cluster,
+    backend: str,
+    *,
+    world_spec: WorldSpec | None = None,
+    num_ranks: int | None = None,
+    mode: ExecutionMode = ExecutionMode.ANALYTIC,
+):
+    """Return (world, communicator) for the requested backend.
+
+    MPI requires a :class:`WorldSpec` (visibility policy + MV2 config);
+    NCCL only needs the rank count — it manages devices itself, which is
+    exactly the asymmetry the paper investigates.
+    """
+    if backend == "mpi":
+        if world_spec is None:
+            raise ConfigError("MPI backend requires a WorldSpec")
+        world = MpiWorld(cluster, world_spec, mode=mode)
+        return world, world.communicator()
+    if backend == "nccl":
+        ranks = num_ranks if num_ranks is not None else (
+            world_spec.num_ranks if world_spec else cluster.num_gpus
+        )
+        world = NcclWorld(cluster, ranks)
+        return world, world.communicator()
+    raise ConfigError(f"unknown backend {backend!r}; use 'mpi' or 'nccl'")

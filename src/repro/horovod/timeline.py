@@ -1,0 +1,81 @@
+"""Horovod timeline: ordered record of middleware events.
+
+Mirrors ``HOROVOD_TIMELINE``'s role: a post-hoc trace of cycles and
+collectives for debugging and for hvprof's input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    kind: str
+    start: float
+    duration: float
+    nbytes: int = 0
+    detail: str = ""
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class Timeline:
+    events: list[TimelineEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        kind: str,
+        *,
+        start: float,
+        duration: float,
+        nbytes: int = 0,
+        detail: str = "",
+    ) -> None:
+        self.events.append(TimelineEvent(kind, start, duration, nbytes, detail))
+
+    def by_kind(self, kind: str) -> list[TimelineEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def total_time(self, kind: str) -> float:
+        return sum(e.duration for e in self.by_kind(kind))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- export ------------------------------------------------------------
+    def to_chrome_trace(self) -> list[dict]:
+        """Render as Chrome trace-event JSON objects (the format real
+        HOROVOD_TIMELINE files use; open with chrome://tracing or Perfetto).
+
+        Durations are emitted as complete ('X') events in microseconds.
+        """
+        trace = []
+        for i, event in enumerate(self.events):
+            trace.append(
+                {
+                    "name": event.kind,
+                    "cat": "horovod",
+                    "ph": "X",
+                    "ts": event.start * 1e6,
+                    "dur": event.duration * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"nbytes": event.nbytes, "detail": event.detail,
+                             "seq": i},
+                }
+            )
+        return trace
+
+    def save_chrome_trace(self, path: str) -> None:
+        """Write the trace to a JSON file."""
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh)

@@ -1,0 +1,6 @@
+"""Image-quality assessment metrics (paper §II-E): PSNR and SSIM."""
+
+from repro.metrics.psnr import psnr
+from repro.metrics.ssim import ssim
+
+__all__ = ["psnr", "ssim"]

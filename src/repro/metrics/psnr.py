@@ -1,0 +1,21 @@
+"""Peak signal-to-noise ratio."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def psnr(prediction: np.ndarray, target: np.ndarray, *, data_range: float = 1.0) -> float:
+    """PSNR in dB; ``inf`` for identical images."""
+    if prediction.shape != target.shape:
+        raise DataError(
+            f"psnr shape mismatch: {prediction.shape} vs {target.shape}"
+        )
+    if data_range <= 0:
+        raise DataError(f"data_range must be > 0, got {data_range}")
+    mse = float(np.mean((prediction.astype(np.float64) - target.astype(np.float64)) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(data_range**2 / mse)

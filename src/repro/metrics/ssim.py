@@ -1,0 +1,69 @@
+"""Structural similarity index (Wang et al. 2004, the paper's ref [17]).
+
+Uniform 8x8 windows via integral images (numpy-only, O(N)); per-channel
+SSIM maps are averaged.  Constants follow the reference implementation:
+``C1=(K1*L)^2, C2=(K2*L)^2`` with K1=0.01, K2=0.03.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def _window_mean(x: np.ndarray, win: int) -> np.ndarray:
+    """Mean over all win x win windows via a 2-D cumulative sum."""
+    integral = np.cumsum(np.cumsum(x, axis=0), axis=1)
+    integral = np.pad(integral, ((1, 0), (1, 0)))
+    totals = (
+        integral[win:, win:]
+        - integral[:-win, win:]
+        - integral[win:, :-win]
+        + integral[:-win, :-win]
+    )
+    return totals / (win * win)
+
+
+def _ssim_channel(a: np.ndarray, b: np.ndarray, win: int, c1: float, c2: float) -> float:
+    mu_a = _window_mean(a, win)
+    mu_b = _window_mean(b, win)
+    mu_aa = _window_mean(a * a, win)
+    mu_bb = _window_mean(b * b, win)
+    mu_ab = _window_mean(a * b, win)
+    var_a = mu_aa - mu_a * mu_a
+    var_b = mu_bb - mu_b * mu_b
+    cov = mu_ab - mu_a * mu_b
+    numerator = (2 * mu_a * mu_b + c1) * (2 * cov + c2)
+    denominator = (mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2)
+    return float(np.mean(numerator / denominator))
+
+
+def ssim(
+    prediction: np.ndarray,
+    target: np.ndarray,
+    *,
+    data_range: float = 1.0,
+    window: int = 8,
+) -> float:
+    """Mean SSIM over channels; inputs are (C,H,W) or (H,W)."""
+    if prediction.shape != target.shape:
+        raise DataError(
+            f"ssim shape mismatch: {prediction.shape} vs {target.shape}"
+        )
+    if prediction.ndim == 2:
+        prediction, target = prediction[None], target[None]
+    if prediction.ndim != 3:
+        raise DataError(f"ssim expects (C,H,W) or (H,W), got {prediction.shape}")
+    h, w = prediction.shape[1:]
+    if h < window or w < window:
+        raise DataError(f"image {prediction.shape} smaller than SSIM window {window}")
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+    values = [
+        _ssim_channel(
+            prediction[c].astype(np.float64), target[c].astype(np.float64), window, c1, c2
+        )
+        for c in range(prediction.shape[0])
+    ]
+    return float(np.mean(values))

@@ -1,0 +1,63 @@
+"""Super-resolution models and the classification comparison model.
+
+* :class:`~repro.models.edsr.EDSR` — the paper's evaluation model
+  (Lim et al. 2017), with presets for the paper-scale configuration and a
+  tiny functional configuration for real training in tests/examples;
+* :class:`~repro.models.srcnn.SRCNN` and
+  :class:`~repro.models.srresnet.SRResNet` — earlier DLSR baselines
+  (paper §II-E);
+* :class:`~repro.models.resnet.ResNet` — ResNet-50 for the Fig. 1
+  single-GPU throughput comparison;
+* :func:`~repro.models.bicubic.bicubic_upscale` — the classical baseline
+  of the paper's Fig. 4;
+* :mod:`~repro.models.costing` — analytic FLOP/memory/gradient-schedule
+  model used by the performance simulation (paper-scale models are far too
+  large to execute in numpy, so benchmarks run on their *cost structure*,
+  which tests validate against the real tiny models).
+"""
+
+from repro.models.blocks import MeanShift, ResBlock, Upsampler
+from repro.models.edsr import (
+    EDSR,
+    EDSRConfig,
+    EDSR_PAPER,
+    EDSR_BASELINE,
+    EDSR_PAPER_TEXT,
+    EDSR_TINY,
+)
+from repro.models.srcnn import SRCNN
+from repro.models.srresnet import SRResNet
+from repro.models.resnet import ResNet, ResNetConfig, RESNET50, RESNET_TINY
+from repro.models.bicubic import bicubic_upscale
+from repro.models.costing import (
+    GradientTensor,
+    LayerCost,
+    ModelCostModel,
+    TrainingMemoryModel,
+)
+from repro.models.registry import get_model_cost, list_model_costs
+
+__all__ = [
+    "MeanShift",
+    "ResBlock",
+    "Upsampler",
+    "EDSR",
+    "EDSRConfig",
+    "EDSR_PAPER",
+    "EDSR_BASELINE",
+    "EDSR_PAPER_TEXT",
+    "EDSR_TINY",
+    "SRCNN",
+    "SRResNet",
+    "ResNet",
+    "ResNetConfig",
+    "RESNET50",
+    "RESNET_TINY",
+    "bicubic_upscale",
+    "LayerCost",
+    "GradientTensor",
+    "ModelCostModel",
+    "TrainingMemoryModel",
+    "get_model_cost",
+    "list_model_costs",
+]

@@ -1,0 +1,99 @@
+"""Building blocks shared by the SR models (paper Fig. 5a).
+
+The EDSR residual block differs from ResNet/SRResNet blocks by *removing
+batch normalization* and scaling the residual branch by a constant
+(``res_scale``, 0.1 in the paper's training setup) to stabilize training of
+wide models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tensor import functional as F
+from repro.tensor.nn import BatchNorm2d, Conv2d, Module
+from repro.tensor.tensor import Tensor
+
+
+class ResBlock(Module):
+    """EDSR residual block: conv-ReLU-conv, scaled, plus identity."""
+
+    def __init__(
+        self,
+        n_feats: int,
+        kernel_size: int = 3,
+        *,
+        res_scale: float = 1.0,
+        batch_norm: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if not 0 < res_scale <= 1:
+            raise ConfigError(f"res_scale must be in (0,1], got {res_scale}")
+        rng = rng or np.random.default_rng(0)
+        self.res_scale = res_scale
+        self.conv1 = Conv2d(n_feats, n_feats, kernel_size, rng=rng)
+        self.conv2 = Conv2d(n_feats, n_feats, kernel_size, rng=rng)
+        self.bn1 = BatchNorm2d(n_feats) if batch_norm else None
+        self.bn2 = BatchNorm2d(n_feats) if batch_norm else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.conv1(x)
+        if self.bn1 is not None:
+            h = self.bn1(h)
+        h = F.relu(h)
+        h = self.conv2(h)
+        if self.bn2 is not None:
+            h = self.bn2(h)
+        if self.res_scale != 1.0:
+            h = F.mul(h, self.res_scale)
+        return F.add(h, x)
+
+
+class Upsampler(Module):
+    """Sub-pixel upsampler tail: conv to ``r^2 x`` channels + pixel shuffle.
+
+    Scale 2 and 3 use one stage; scale 4 stacks two x2 stages (as in the
+    reference EDSR implementation).
+    """
+
+    def __init__(
+        self,
+        scale: int,
+        n_feats: int,
+        *,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        if scale not in (2, 3, 4):
+            raise ConfigError(f"upscale factor must be 2, 3, or 4, got {scale}")
+        stages: list[tuple[Conv2d, int]] = []
+        if scale == 3:
+            stages.append((Conv2d(n_feats, 9 * n_feats, 3, rng=rng), 3))
+        else:
+            for _ in range(scale // 2):
+                stages.append((Conv2d(n_feats, 4 * n_feats, 3, rng=rng), 2))
+        self._stages = stages
+        for i, (conv, _r) in enumerate(stages):
+            setattr(self, f"conv{i}", conv)
+        self.scale = scale
+
+    def forward(self, x: Tensor) -> Tensor:
+        for conv, r in self._stages:
+            x = F.pixel_shuffle(conv(x), r)
+        return x
+
+
+class MeanShift(Module):
+    """Adds/subtracts the dataset RGB mean (EDSR pre/post-processing)."""
+
+    def __init__(self, rgb_mean: tuple[float, float, float], sign: int = -1):
+        super().__init__()
+        if sign not in (-1, 1):
+            raise ConfigError(f"sign must be +-1, got {sign}")
+        self.shift = np.asarray(rgb_mean, dtype=np.float32).reshape(1, 3, 1, 1) * sign
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.add(x, Tensor(self.shift))

@@ -1,0 +1,35 @@
+"""Named cost-model registry used by benchmarks and the scaling study."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.models.costing import ModelCostModel
+from repro.models.edsr import EDSR_BASELINE, EDSR_PAPER, EDSR_PAPER_TEXT, EDSR_TINY
+from repro.models.resnet import RESNET50, RESNET_TINY
+from repro.models.segmentation import segmentation_cost
+
+_REGISTRY: dict[str, Callable[[], ModelCostModel]] = {
+    "deeplabv3-rn50": segmentation_cost,
+    "edsr-paper": lambda: ModelCostModel.for_edsr(EDSR_PAPER),
+    "edsr-baseline": lambda: ModelCostModel.for_edsr(EDSR_BASELINE),
+    "edsr-paper-text": lambda: ModelCostModel.for_edsr(EDSR_PAPER_TEXT),
+    "edsr-tiny": lambda: ModelCostModel.for_edsr(EDSR_TINY),
+    "resnet-50": lambda: ModelCostModel.for_resnet(RESNET50),
+    "resnet-tiny": lambda: ModelCostModel.for_resnet(RESNET_TINY),
+}
+
+
+def get_model_cost(name: str) -> ModelCostModel:
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown model {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def list_model_costs() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,117 @@
+"""ResNet for the Fig. 1 comparison (classification vs. super-resolution).
+
+The paper contrasts EDSR's ~10.3 img/s with ResNet-50's ~360 img/s on one
+V100.  We provide a functional (tiny, trainable) variant for tests and the
+full ResNet-50 *cost structure* for the throughput model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tensor import functional as F
+from repro.tensor.nn import BatchNorm2d, Conv2d, Linear, Module
+from repro.tensor.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class ResNetConfig:
+    """Stage layout: (bottleneck width, block count, stride) per stage."""
+
+    name: str
+    stem_channels: int
+    stages: tuple[tuple[int, int, int], ...]
+    num_classes: int = 1000
+    image_size: int = 224
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ConfigError("ResNet needs at least one stage")
+
+
+RESNET50 = ResNetConfig(
+    name="resnet-50",
+    stem_channels=64,
+    stages=((64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)),
+)
+
+#: runnable-in-numpy configuration for functional tests
+RESNET_TINY = ResNetConfig(
+    name="resnet-tiny",
+    stem_channels=8,
+    stages=((8, 1, 1), (16, 1, 2)),
+    num_classes=10,
+    image_size=32,
+)
+
+
+class Bottleneck(Module):
+    """1x1 reduce -> 3x3 -> 1x1 expand (x4), with projection shortcut."""
+
+    expansion = 4
+
+    def __init__(
+        self,
+        in_channels: int,
+        width: int,
+        stride: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        out_channels = width * self.expansion
+        self.conv1 = Conv2d(in_channels, width, 1, padding=0, rng=rng)
+        self.bn1 = BatchNorm2d(width)
+        self.conv2 = Conv2d(width, width, 3, stride=stride, rng=rng)
+        self.bn2 = BatchNorm2d(width)
+        self.conv3 = Conv2d(width, out_channels, 1, padding=0, rng=rng)
+        self.bn3 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.proj = Conv2d(
+                in_channels, out_channels, 1, stride=stride, padding=0, rng=rng
+            )
+        else:
+            self.proj = None
+        self.out_channels = out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x if self.proj is None else self.proj(x)
+        h = F.relu(self.bn1(self.conv1(x)))
+        h = F.relu(self.bn2(self.conv2(h)))
+        h = self.bn3(self.conv3(h))
+        return F.relu(F.add(h, identity))
+
+
+class ResNet(Module):
+    def __init__(
+        self,
+        config: ResNetConfig = RESNET_TINY,
+        *,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.config = config
+        self.stem = Conv2d(3, config.stem_channels, 7, stride=2, padding=3, rng=rng)
+        self.stem_bn = BatchNorm2d(config.stem_channels)
+        blocks: list[Bottleneck] = []
+        channels = config.stem_channels
+        for width, count, stride in config.stages:
+            for b in range(count):
+                block = Bottleneck(channels, width, stride if b == 0 else 1, rng)
+                blocks.append(block)
+                channels = block.out_channels
+        self.blocks = blocks
+        for i, block in enumerate(blocks):
+            setattr(self, f"block{i}", block)
+        self.fc = Linear(channels, config.num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = F.relu(self.stem_bn(self.stem(x)))
+        x = F.max_pool2d(x, 3, 2)
+        for block in self.blocks:
+            x = block(x)
+        x = F.global_avg_pool2d(x)
+        return self.fc(x)

@@ -1,0 +1,91 @@
+"""Semantic-segmentation cost model (DeepLabv3-class encoder + ASPP head).
+
+The paper argues its MPI-layer optimizations are model-agnostic (§I-C:
+"our proposed training approach is agnostic to the model, DL framework,
+and system") and builds on the authors' earlier semantic-segmentation
+study (reference [7], DeepLab on Summit).  This module provides the cost
+structure of a DeepLabv3-like network so the scaling study can be run on a
+second, architecturally different communication-heavy workload:
+a ResNet-50 encoder with output-stride 16, an ASPP pyramid, and a dense
+classifier head at 513x513 crops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.models.costing import LayerCost, ModelCostModel, _conv_cost
+from repro.models.resnet import RESNET50, Bottleneck, ResNetConfig
+
+
+@dataclass(frozen=True)
+class SegmentationConfig:
+    """DeepLabv3-ish hyperparameters."""
+
+    name: str = "deeplabv3-rn50"
+    backbone: ResNetConfig = RESNET50
+    crop: int = 513
+    num_classes: int = 21
+    aspp_channels: int = 256
+    atrous_rates: tuple[int, ...] = (6, 12, 18)
+
+    def __post_init__(self) -> None:
+        if self.crop < 64:
+            raise ConfigError("crop must be >= 64")
+        if self.num_classes < 2:
+            raise ConfigError("num_classes must be >= 2")
+
+
+DEEPLAB_V3 = SegmentationConfig()
+
+
+def segmentation_cost(config: SegmentationConfig = DEEPLAB_V3) -> ModelCostModel:
+    """Cost structure of the segmentation network at its crop size.
+
+    The backbone follows the bottleneck layout of the configured ResNet
+    but, as in DeepLab, the last stage uses stride 1 + dilation so the
+    output stride is 16 (denser features => much higher FLOPs than the
+    classifier variant).
+    """
+    size = config.crop
+    bb = config.backbone
+    layers: list[LayerCost] = [
+        _conv_cost("stem", 3, bb.stem_channels, 7, size // 2, size // 2)
+    ]
+    h = w = size // 4
+    cin = bb.stem_channels
+    for s, (width, count, stage_stride) in enumerate(bb.stages):
+        # DeepLab: final stage keeps spatial resolution (dilated convs)
+        effective_stride = 1 if s == len(bb.stages) - 1 else stage_stride
+        for b in range(count):
+            stride = effective_stride if b == 0 else 1
+            h_out, w_out = h // stride, w // stride
+            cout = width * Bottleneck.expansion
+            prefix = f"stage{s}.block{b}"
+            layers.append(_conv_cost(f"{prefix}.conv1", cin, width, 1, h, w))
+            layers.append(
+                _conv_cost(f"{prefix}.conv2", width, width, 3, h_out, w_out)
+            )
+            layers.append(_conv_cost(f"{prefix}.conv3", width, cout, 1, h_out, w_out))
+            if stride != 1 or cin != cout:
+                layers.append(_conv_cost(f"{prefix}.proj", cin, cout, 1, h_out, w_out))
+            cin = cout
+            h, w = h_out, w_out
+    # ASPP: 1x1 + three dilated 3x3 branches + image pooling + projection
+    aspp = config.aspp_channels
+    layers.append(_conv_cost("aspp.conv1x1", cin, aspp, 1, h, w))
+    for rate in config.atrous_rates:
+        layers.append(_conv_cost(f"aspp.atrous{rate}", cin, aspp, 3, h, w))
+    layers.append(_conv_cost("aspp.pool_proj", cin, aspp, 1, 1, 1))
+    layers.append(_conv_cost("aspp.merge", aspp * 5, aspp, 1, h, w))
+    # classifier head at 1/4 resolution after upsampling
+    head_h, head_w = size // 4, size // 4
+    layers.append(_conv_cost("head.refine", aspp, aspp, 3, head_h, head_w))
+    layers.append(
+        _conv_cost("head.classify", aspp, config.num_classes, 1, head_h, head_w)
+    )
+    # dense prediction stacks sustain high utilization like EDSR's convs
+    return ModelCostModel(
+        config.name, layers, peak_utilization=0.45, batch_half_point=1.5
+    )

@@ -1,0 +1,49 @@
+"""SRCNN (Dong et al. 2014): the first CNN-based SR model (paper §II-E).
+
+Operates on a bicubic-upscaled input (post-upsampling came later): three
+convolutions — patch extraction, non-linear mapping, reconstruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor.nn import Conv2d, Module
+from repro.tensor.tensor import Tensor
+from repro.models.bicubic import bicubic_upscale
+
+
+class SRCNN(Module):
+    def __init__(
+        self,
+        *,
+        n_colors: int = 3,
+        f1: int = 64,
+        f2: int = 32,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = Conv2d(n_colors, f1, 9, rng=rng)
+        self.conv2 = Conv2d(f1, f2, 1, rng=rng)
+        self.conv3 = Conv2d(f2, n_colors, 5, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """``x`` must already be at the target (HR) resolution."""
+        x = F.relu(self.conv1(x))
+        x = F.relu(self.conv2(x))
+        return self.conv3(x)
+
+    def upscale(self, lr_image: np.ndarray, scale: int) -> np.ndarray:
+        """Bicubic pre-upsample then refine (the SRCNN pipeline)."""
+        from repro.tensor.tensor import no_grad
+
+        single = lr_image.ndim == 3
+        batch = lr_image[None] if single else lr_image
+        upsampled = np.stack([bicubic_upscale(img, scale) for img in batch])
+        self.eval()
+        with no_grad():
+            out = self.forward(Tensor(upsampled.astype(np.float32))).numpy()
+        self.train()
+        return out[0] if single else out

@@ -1,0 +1,47 @@
+"""SRResNet (Ledig et al. 2017): the BN-bearing predecessor EDSR improves on.
+
+Kept as a baseline to demonstrate the architectural lineage in the paper's
+Fig. 5a: same residual topology as EDSR but with batch normalization and
+without residual scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor.nn import Conv2d, Module
+from repro.tensor.tensor import Tensor
+from repro.models.blocks import ResBlock, Upsampler
+
+
+class SRResNet(Module):
+    def __init__(
+        self,
+        *,
+        n_resblocks: int = 16,
+        n_feats: int = 64,
+        scale: int = 2,
+        n_colors: int = 3,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.head = Conv2d(n_colors, n_feats, 9, rng=rng)
+        self.body = [
+            ResBlock(n_feats, 3, batch_norm=True, rng=rng) for _ in range(n_resblocks)
+        ]
+        for i, block in enumerate(self.body):
+            setattr(self, f"block{i}", block)
+        self.body_conv = Conv2d(n_feats, n_feats, 3, rng=rng)
+        self.upsampler = Upsampler(scale, n_feats, rng=rng)
+        self.tail = Conv2d(n_feats, n_colors, 9, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = F.relu(self.head(x))
+        skip = x
+        for block in self.body:
+            x = block(x)
+        x = F.add(self.body_conv(x), skip)
+        x = self.upsampler(x)
+        return self.tail(x)

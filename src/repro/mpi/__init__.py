@@ -1,0 +1,37 @@
+"""Simulated CUDA-aware MPI library (MVAPICH2-GDR-like).
+
+Implements the communication stack the paper tunes:
+
+* point-to-point eager/rendezvous protocols over the simulated fabric;
+* CUDA-aware transport selection — NVLink IPC vs. host-staged copies
+  intra-node, GPUDirect-RDMA inter-node (:mod:`repro.mpi.transports`);
+* collective algorithms (ring, recursive doubling, Rabenseifner,
+  two-level hierarchical) in both event-driven and analytic timing modes
+  (:mod:`repro.mpi.collectives`);
+* the tuning surface of MVAPICH2-GDR environment variables, including the
+  paper's proposed ``MV2_VISIBLE_DEVICES`` (:mod:`repro.mpi.env`).
+"""
+
+from repro.mpi.datatypes import Datatype, ReduceOp
+from repro.mpi.env import Mv2Config
+from repro.mpi.process import RankContext, WorldSpec, build_world
+from repro.mpi.transports import TransportKind, TransportModel
+from repro.mpi.comm import Communicator, MpiWorld
+from repro.mpi.p2p import ANY_SOURCE, ANY_TAG, P2PFabric, RecvStatus
+
+__all__ = [
+    "Datatype",
+    "ReduceOp",
+    "Mv2Config",
+    "RankContext",
+    "WorldSpec",
+    "build_world",
+    "TransportKind",
+    "TransportModel",
+    "Communicator",
+    "MpiWorld",
+    "P2PFabric",
+    "RecvStatus",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]

@@ -1,0 +1,39 @@
+"""MPI_Allgather: ring algorithm.
+
+Used by Horovod's coordinator for the tensor-negotiation metadata exchange.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.collectives.base import CollectiveTiming, PairTransfer, StepCoster
+
+
+def allgather_timing(
+    coster: StepCoster,
+    ranks: list[int],
+    nbytes_per_rank: int,
+    *,
+    buffer_ids: dict[int, int] | None = None,
+) -> CollectiveTiming:
+    """Each rank contributes ``nbytes_per_rank``; all end with everything."""
+    p = len(ranks)
+    if p <= 1:
+        return CollectiveTiming("allgather", "ring", nbytes_per_rank, p, 0.0, coster.mode)
+
+    def bid(rank: int) -> int | None:
+        return buffer_ids.get(rank) if buffer_ids else None
+
+    steps: list[list[PairTransfer]] = []
+    for _step in range(p - 1):
+        transfers = []
+        for i, rank in enumerate(ranks):
+            dst = ranks[(i + 1) % p]
+            transfers.append(
+                PairTransfer(rank, dst, nbytes_per_rank, bid(rank), bid(dst))
+            )
+        steps.append(transfers)
+    total = coster.run_steps(steps)
+    return CollectiveTiming(
+        "allgather", "ring", nbytes_per_rank, p, total, coster.mode,
+        {"ring": total},
+    )

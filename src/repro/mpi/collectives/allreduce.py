@@ -1,0 +1,280 @@
+"""MPI_Allreduce algorithms.
+
+Four algorithms, matching the MVAPICH2 algorithm family the paper's
+workload exercises:
+
+* ``ring`` — chunked ring (bandwidth-optimal: ``2n(p-1)/p`` bytes/rank);
+* ``recursive_doubling`` — latency-optimal for small messages;
+* ``reduce_scatter_allgather`` — Rabenseifner's algorithm;
+* ``hierarchical`` — two-level: intra-node binomial reduce to a node
+  leader, inter-node ring among leaders, intra-node binomial bcast.  This
+  is the shape MVAPICH2-GDR and NCCL both use on NVLink-dense nodes, and
+  the level at which the intra-node transport (IPC vs. host-staged) decides
+  the paper's headline numbers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import MpiError
+from repro.mpi.collectives.base import (
+    CollectiveTiming,
+    PairTransfer,
+    StepCoster,
+    chunk_sizes,
+    is_power_of_two,
+)
+from repro.utils.units import KIB
+
+
+def select_allreduce_algorithm(
+    num_ranks: int,
+    nbytes: int,
+    *,
+    nodes: int,
+    override: str | None = None,
+) -> str:
+    """MVAPICH2-style size/topology heuristic."""
+    if override is not None:
+        return override
+    if num_ranks <= 1:
+        return "ring"
+    if nbytes <= 32 * KIB and is_power_of_two(num_ranks):
+        return "recursive_doubling"
+    if nodes > 1:
+        return "hierarchical"
+    return "ring"
+
+
+def _ring_steps(
+    ranks: list[int], nbytes: int, buffer_ids: dict[int, int] | None
+) -> tuple[list[list[PairTransfer]], list[list[PairTransfer]]]:
+    """Chunked-ring schedules: (reduce-scatter steps, allgather steps)."""
+    p = len(ranks)
+    chunks = chunk_sizes(nbytes, p)
+
+    def bid(rank: int) -> int | None:
+        return buffer_ids.get(rank) if buffer_ids else None
+
+    def build(phase_steps: int) -> list[list[PairTransfer]]:
+        steps = []
+        for step in range(phase_steps):
+            transfers = []
+            for i, rank in enumerate(ranks):
+                dst = ranks[(i + 1) % p]
+                chunk_index = (i - step) % p
+                transfers.append(
+                    PairTransfer(
+                        src=rank,
+                        dst=dst,
+                        nbytes=chunks[chunk_index],
+                        src_buffer=bid(rank),
+                        dst_buffer=bid(dst),
+                        buffer_extent=nbytes,
+                    )
+                )
+            steps.append(transfers)
+        return steps
+
+    return build(p - 1), build(p - 1)
+
+
+def _recursive_doubling_steps(
+    ranks: list[int], nbytes: int, buffer_ids: dict[int, int] | None
+) -> list[list[PairTransfer]]:
+    p = len(ranks)
+    if not is_power_of_two(p):
+        raise MpiError(f"recursive doubling requires power-of-two ranks, got {p}")
+
+    def bid(rank: int) -> int | None:
+        return buffer_ids.get(rank) if buffer_ids else None
+
+    steps = []
+    distance = 1
+    while distance < p:
+        transfers = []
+        for i, rank in enumerate(ranks):
+            peer = ranks[i ^ distance]
+            transfers.append(
+                PairTransfer(rank, peer, nbytes, bid(rank), bid(peer))
+            )
+        steps.append(transfers)
+        distance *= 2
+    return steps
+
+
+def _halving_doubling_steps(
+    ranks: list[int], nbytes: int, buffer_ids: dict[int, int] | None
+) -> tuple[list[list[PairTransfer]], list[list[PairTransfer]]]:
+    """Rabenseifner: recursive-halving reduce-scatter + recursive-doubling
+    allgather."""
+    p = len(ranks)
+    if not is_power_of_two(p):
+        raise MpiError(f"reduce_scatter_allgather requires power-of-two ranks, got {p}")
+
+    def bid(rank: int) -> int | None:
+        return buffer_ids.get(rank) if buffer_ids else None
+
+    rs_steps = []
+    distance = p // 2
+    size = nbytes // 2
+    while distance >= 1:
+        transfers = []
+        for i, rank in enumerate(ranks):
+            peer = ranks[i ^ distance]
+            transfers.append(PairTransfer(rank, peer, max(size, 1), bid(rank), bid(peer)))
+        rs_steps.append(transfers)
+        distance //= 2
+        size //= 2
+    ag_steps = []
+    distance = 1
+    size = nbytes // p
+    while distance < p:
+        transfers = []
+        for i, rank in enumerate(ranks):
+            peer = ranks[i ^ distance]
+            transfers.append(PairTransfer(rank, peer, max(size, 1), bid(rank), bid(peer)))
+        ag_steps.append(transfers)
+        distance *= 2
+        size *= 2
+    return rs_steps, ag_steps
+
+
+def _binomial_reduce_steps(
+    group: list[int], nbytes: int, buffer_ids: dict[int, int] | None
+) -> list[list[PairTransfer]]:
+    """Binomial-tree reduce onto group[0]."""
+    def bid(rank: int) -> int | None:
+        return buffer_ids.get(rank) if buffer_ids else None
+
+    g = len(group)
+    steps = []
+    distance = 1
+    while distance < g:
+        transfers = []
+        for i in range(0, g, 2 * distance):
+            j = i + distance
+            if j < g:
+                transfers.append(
+                    PairTransfer(group[j], group[i], nbytes, bid(group[j]), bid(group[i]))
+                )
+        steps.append(transfers)
+        distance *= 2
+    return steps
+
+
+def _binomial_bcast_steps(
+    group: list[int], nbytes: int, buffer_ids: dict[int, int] | None
+) -> list[list[PairTransfer]]:
+    """Binomial-tree broadcast from group[0] (reverse of the reduce)."""
+    return [
+        [PairTransfer(t.dst, t.src, t.nbytes, t.dst_buffer, t.src_buffer) for t in step]
+        for step in reversed(_binomial_reduce_steps(group, nbytes, buffer_ids))
+    ]
+
+
+def allreduce_timing(
+    coster: StepCoster,
+    ranks: list[int],
+    nbytes: int,
+    *,
+    buffer_ids: dict[int, int] | None = None,
+    algorithm: str | None = None,
+) -> CollectiveTiming:
+    """Time one allreduce over ``ranks`` in the coster's execution mode."""
+    p = len(ranks)
+    transport = coster.transport
+    node_of = {r: transport.ranks[r].node_id for r in ranks}
+    nodes = len(set(node_of.values()))
+    algorithm = select_allreduce_algorithm(
+        p, nbytes, nodes=nodes, override=algorithm or transport.config.allreduce_algorithm
+    )
+    if p <= 1 or nbytes == 0:
+        return CollectiveTiming("allreduce", algorithm, nbytes, p, 0.0, coster.mode)
+
+    segments: dict[str, float] = {}
+    if algorithm == "ring":
+        rs, ag = _ring_steps(ranks, nbytes, buffer_ids)
+        segments["reduce_scatter"] = coster.run_steps(rs, reduce_after=True)
+        segments["allgather"] = coster.run_steps(ag, reduce_after=False)
+    elif algorithm == "recursive_doubling":
+        if not is_power_of_two(p):
+            return allreduce_timing(
+                coster, ranks, nbytes, buffer_ids=buffer_ids, algorithm="ring"
+            )
+        steps = _recursive_doubling_steps(ranks, nbytes, buffer_ids)
+        segments["exchange"] = coster.run_steps(steps, reduce_after=True)
+    elif algorithm == "reduce_scatter_allgather":
+        if not is_power_of_two(p):
+            return allreduce_timing(
+                coster, ranks, nbytes, buffer_ids=buffer_ids, algorithm="ring"
+            )
+        rs, ag = _halving_doubling_steps(ranks, nbytes, buffer_ids)
+        segments["reduce_scatter"] = coster.run_steps(rs, reduce_after=True)
+        segments["allgather"] = coster.run_steps(ag, reduce_after=False)
+    elif algorithm == "hierarchical":
+        by_node: dict[int, list[int]] = {}
+        for r in ranks:
+            by_node.setdefault(node_of[r], []).append(r)
+        groups = [sorted(g) for _, g in sorted(by_node.items())]
+        leaders = [g[0] for g in groups]
+        intra_reduce: list[list[PairTransfer]] = []
+        intra_bcast: list[list[PairTransfer]] = []
+        # Intra-node phases run concurrently across nodes: merge per-node
+        # schedules step-by-step.
+        max_depth_r = max((len(_binomial_reduce_steps(g, nbytes, buffer_ids)) for g in groups), default=0)
+        for depth in range(max_depth_r):
+            merged: list[PairTransfer] = []
+            for g in groups:
+                steps = _binomial_reduce_steps(g, nbytes, buffer_ids)
+                if depth < len(steps):
+                    merged.extend(steps[depth])
+            if merged:
+                intra_reduce.append(merged)
+        max_depth_b = max((len(_binomial_bcast_steps(g, nbytes, buffer_ids)) for g in groups), default=0)
+        for depth in range(max_depth_b):
+            merged = []
+            for g in groups:
+                steps = _binomial_bcast_steps(g, nbytes, buffer_ids)
+                if depth < len(steps):
+                    merged.extend(steps[depth])
+            if merged:
+                intra_bcast.append(merged)
+        segments["intra_reduce"] = coster.run_steps(intra_reduce, reduce_after=True)
+        if len(leaders) > 1:
+            rs, ag = _ring_steps(leaders, nbytes, buffer_ids)
+            segments["inter_reduce_scatter"] = coster.run_steps(rs, reduce_after=True)
+            segments["inter_allgather"] = coster.run_steps(ag, reduce_after=False)
+        segments["intra_bcast"] = coster.run_steps(intra_bcast, reduce_after=False)
+    else:  # pragma: no cover - selection guards this
+        raise MpiError(f"unknown allreduce algorithm {algorithm!r}")
+
+    total = sum(segments.values())
+    return CollectiveTiming(
+        "allreduce", algorithm, nbytes, p, total, coster.mode, segments
+    )
+
+
+def allreduce_lower_bound(nbytes: int, p: int, bandwidth: float) -> float:
+    """Bandwidth-optimal lower bound ``2n(p-1)/(pB)`` for sanity checks."""
+    if p <= 1:
+        return 0.0
+    return 2 * nbytes * (p - 1) / (p * bandwidth)
+
+
+def ring_step_count(p: int) -> int:
+    return 2 * (p - 1)
+
+
+def expected_message_count(algorithm: str, p: int) -> int:
+    """Messages per rank (used by profiling expectations in tests)."""
+    if p <= 1:
+        return 0
+    if algorithm == "ring":
+        return 2 * (p - 1)
+    if algorithm in ("recursive_doubling",):
+        return int(math.log2(p))
+    if algorithm == "reduce_scatter_allgather":
+        return 2 * int(math.log2(p))
+    raise MpiError(f"no message-count formula for {algorithm!r}")

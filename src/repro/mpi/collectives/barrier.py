@@ -1,0 +1,29 @@
+"""MPI_Barrier: dissemination algorithm (zero-byte control messages)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.mpi.collectives.base import CollectiveTiming, PairTransfer, StepCoster
+
+#: control messages are a few bytes on the wire
+_CONTROL_BYTES = 8
+
+
+def barrier_timing(coster: StepCoster, ranks: list[int]) -> CollectiveTiming:
+    p = len(ranks)
+    if p <= 1:
+        return CollectiveTiming("barrier", "dissemination", 0, p, 0.0, coster.mode)
+    rounds = math.ceil(math.log2(p))
+    steps: list[list[PairTransfer]] = []
+    for k in range(rounds):
+        distance = 2**k
+        transfers = [
+            PairTransfer(rank, ranks[(i + distance) % p], _CONTROL_BYTES)
+            for i, rank in enumerate(ranks)
+        ]
+        steps.append(transfers)
+    total = coster.run_steps(steps)
+    return CollectiveTiming(
+        "barrier", "dissemination", 0, p, total, coster.mode, {"rounds": total}
+    )

@@ -1,0 +1,171 @@
+"""Shared infrastructure for collective timing engines."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.cuda.kernels import KernelCostModel
+from repro.errors import MpiError
+from repro.mpi.transports import TransportKind, TransportModel
+
+
+class ExecutionMode(enum.Enum):
+    """How collective time is obtained."""
+
+    ANALYTIC = "analytic"
+    EVENT = "event"
+
+
+@dataclass
+class CollectiveTiming:
+    """Result of timing one collective operation."""
+
+    op: str
+    algorithm: str
+    nbytes: int
+    num_ranks: int
+    time: float
+    mode: ExecutionMode
+    segments: dict[str, float] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.op}[{self.algorithm}] n={self.nbytes}B p={self.num_ranks} "
+            f"t={self.time * 1e3:.3f}ms ({self.mode.value})>"
+        )
+
+
+@dataclass(frozen=True)
+class PairTransfer:
+    """One point-to-point transfer inside an algorithm step.
+
+    ``buffer_extent`` is the full size of the communication buffer this
+    transfer's chunk belongs to: IB registration pins the whole buffer
+    once per MPI call, not each chunk.
+    """
+
+    src: int
+    dst: int
+    nbytes: int
+    src_buffer: int | None = None
+    dst_buffer: int | None = None
+    buffer_extent: int | None = None
+
+
+class StepCoster:
+    """Times one BSP step (a set of concurrent transfers) in either mode.
+
+    Analytic mode approximates contention: staged transfers sharing a node's
+    staging engines serialize in ``ceil(k / engines)`` waves; everything
+    else is assumed conflict-free (algorithms are designed that way).
+    """
+
+    def __init__(self, transport: TransportModel, mode: ExecutionMode):
+        self.transport = transport
+        self.mode = mode
+        self.kernel_model = KernelCostModel(transport.cluster.spec.node.gpu)
+        self.cpu = transport.cluster.spec.node.cpu
+
+    # -- reduction compute costs ------------------------------------------------
+    def gpu_reduce_time(self, nbytes: int) -> float:
+        return self.kernel_model.device_reduce_time(nbytes)
+
+    def host_reduce_time(self, nbytes: int, dtype_size: int = 4) -> float:
+        return (nbytes / dtype_size) / self.cpu.reduce_flops
+
+    def reduce_time_for(self, kind: TransportKind, nbytes: int) -> float:
+        """Reduction executes where the data landed: host for staged paths."""
+        if kind in (TransportKind.HOST_STAGED, TransportKind.SMP_EAGER,
+                    TransportKind.STAGED_INTER):
+            return self.host_reduce_time(nbytes)
+        return self.gpu_reduce_time(nbytes)
+
+    # -- step timing ---------------------------------------------------------------
+    def step_time_analytic(
+        self, transfers: list[PairTransfer], *, reduce_after: bool = False
+    ) -> float:
+        """Makespan of concurrent transfers under the contention model."""
+        if not transfers:
+            return 0.0
+        staged_by_node: dict[int, list[float]] = {}
+        other_max = 0.0
+        engines = self.transport.cluster.spec.node.staging_engines
+        for t in transfers:
+            bd = self.transport.cost(
+                t.src, t.dst, t.nbytes,
+                src_buffer=t.src_buffer, dst_buffer=t.dst_buffer,
+                buffer_extent=t.buffer_extent,
+            )
+            total = bd.total
+            if reduce_after:
+                total += self.reduce_time_for(bd.kind, t.nbytes)
+            if bd.kind in (
+                TransportKind.HOST_STAGED,
+                TransportKind.SMP_EAGER,
+                TransportKind.STAGED_INTER,
+            ):
+                node = self.transport.ranks[t.src].node_id
+                staged_by_node.setdefault(node, []).append(total)
+            else:
+                other_max = max(other_max, total)
+        staged_max = 0.0
+        for times in staged_by_node.values():
+            waves = math.ceil(len(times) / engines)
+            staged_max = max(staged_max, waves * max(times))
+        return max(other_max, staged_max)
+
+    def step_proc(self, transfers: list[PairTransfer], *, reduce_after: bool = False):
+        """Event-mode process executing one BSP step."""
+        env = self.transport.cluster.env
+
+        def one(t: PairTransfer):
+            kind = yield env.process(
+                self.transport.transfer_proc(
+                    t.src, t.dst, t.nbytes,
+                    src_buffer=t.src_buffer, dst_buffer=t.dst_buffer,
+                    buffer_extent=t.buffer_extent,
+                )
+            )
+            if reduce_after:
+                yield env.timeout(self.reduce_time_for(kind, t.nbytes))
+
+        procs = [env.process(one(t)) for t in transfers]
+        if procs:
+            yield env.all_of(procs)
+
+    def run_steps(
+        self,
+        steps: list[list[PairTransfer]],
+        *,
+        reduce_after: bool = False,
+    ) -> float:
+        """Time a full step schedule in the configured mode."""
+        if self.mode is ExecutionMode.ANALYTIC:
+            return sum(
+                self.step_time_analytic(step, reduce_after=reduce_after)
+                for step in steps
+            )
+        env = self.transport.cluster.env
+        start = env.now
+
+        def driver():
+            for step in steps:
+                yield env.process(self.step_proc(step, reduce_after=reduce_after))
+
+        proc = env.process(driver())
+        env.run(until=proc)
+        return env.now - start
+
+
+def chunk_sizes(nbytes: int, parts: int) -> list[int]:
+    """Split ``nbytes`` into ``parts`` near-equal element-aligned chunks."""
+    if parts < 1:
+        raise MpiError(f"cannot split into {parts} parts")
+    base, rem = divmod(int(nbytes), parts)
+    return [base + (1 if i < rem else 0) for i in range(parts)]
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0

@@ -1,0 +1,86 @@
+"""MPI_Gather / MPI_Scatter / MPI_Alltoall timing.
+
+Used by Horovod's coordinator (gather of readiness bitmaps) and available
+for completeness of the MPI surface.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.collectives.base import CollectiveTiming, PairTransfer, StepCoster
+
+
+def gather_timing(
+    coster: StepCoster,
+    ranks: list[int],
+    nbytes_per_rank: int,
+    *,
+    root: int | None = None,
+) -> CollectiveTiming:
+    """All non-root ranks send their contribution to the root.
+
+    Modelled as MPI's linear gather (correct for the small message sizes
+    coordination uses): the root's ingest serializes arrivals from
+    different nodes only at its own NIC/links, which the step engine
+    captures by scheduling all sends in one step.
+    """
+    p = len(ranks)
+    if p <= 1 or nbytes_per_rank == 0:
+        return CollectiveTiming("gather", "linear", nbytes_per_rank, p, 0.0,
+                                coster.mode)
+    root = ranks[0] if root is None else root
+    transfers = [
+        PairTransfer(r, root, nbytes_per_rank) for r in ranks if r != root
+    ]
+    total = coster.run_steps([transfers])
+    return CollectiveTiming(
+        "gather", "linear", nbytes_per_rank, p, total, coster.mode,
+        {"ingest": total},
+    )
+
+
+def scatter_timing(
+    coster: StepCoster,
+    ranks: list[int],
+    nbytes_per_rank: int,
+    *,
+    root: int | None = None,
+) -> CollectiveTiming:
+    """Root sends a distinct block to every other rank (linear scatter)."""
+    p = len(ranks)
+    if p <= 1 or nbytes_per_rank == 0:
+        return CollectiveTiming("scatter", "linear", nbytes_per_rank, p, 0.0,
+                                coster.mode)
+    root = ranks[0] if root is None else root
+    transfers = [
+        PairTransfer(root, r, nbytes_per_rank) for r in ranks if r != root
+    ]
+    total = coster.run_steps([transfers])
+    return CollectiveTiming(
+        "scatter", "linear", nbytes_per_rank, p, total, coster.mode,
+        {"egress": total},
+    )
+
+
+def alltoall_timing(
+    coster: StepCoster,
+    ranks: list[int],
+    nbytes_per_pair: int,
+) -> CollectiveTiming:
+    """Pairwise-exchange alltoall: p-1 rounds, round k pairs rank i with
+    rank i XOR k (power-of-two worlds) or (i + k) mod p otherwise."""
+    p = len(ranks)
+    if p <= 1 or nbytes_per_pair == 0:
+        return CollectiveTiming("alltoall", "pairwise", nbytes_per_pair, p, 0.0,
+                                coster.mode)
+    steps: list[list[PairTransfer]] = []
+    for k in range(1, p):
+        transfers = []
+        for i, rank in enumerate(ranks):
+            peer = ranks[(i + k) % p]
+            transfers.append(PairTransfer(rank, peer, nbytes_per_pair))
+        steps.append(transfers)
+    total = coster.run_steps(steps)
+    return CollectiveTiming(
+        "alltoall", "pairwise", nbytes_per_pair, p, total, coster.mode,
+        {"rounds": total},
+    )

@@ -1,0 +1,44 @@
+"""MPI_Reduce: binomial tree onto a root."""
+
+from __future__ import annotations
+
+from repro.mpi.collectives.base import CollectiveTiming, PairTransfer, StepCoster
+
+
+def reduce_timing(
+    coster: StepCoster,
+    ranks: list[int],
+    nbytes: int,
+    *,
+    root: int | None = None,
+    buffer_ids: dict[int, int] | None = None,
+) -> CollectiveTiming:
+    p = len(ranks)
+    if p <= 1 or nbytes == 0:
+        return CollectiveTiming("reduce", "binomial", nbytes, p, 0.0, coster.mode)
+    root = ranks[0] if root is None else root
+    ordered = [root] + [r for r in ranks if r != root]
+
+    def bid(rank: int) -> int | None:
+        return buffer_ids.get(rank) if buffer_ids else None
+
+    steps: list[list[PairTransfer]] = []
+    distance = 1
+    g = len(ordered)
+    while distance < g:
+        transfers = []
+        for i in range(0, g, 2 * distance):
+            j = i + distance
+            if j < g:
+                transfers.append(
+                    PairTransfer(
+                        ordered[j], ordered[i], nbytes, bid(ordered[j]), bid(ordered[i])
+                    )
+                )
+        steps.append(transfers)
+        distance *= 2
+    # Senders-to-receivers order must be reversed: leaves send first.
+    total = coster.run_steps(list(reversed(steps)), reduce_after=True)
+    return CollectiveTiming(
+        "reduce", "binomial", nbytes, p, total, coster.mode, {"tree": total}
+    )

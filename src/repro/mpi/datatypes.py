@@ -1,0 +1,63 @@
+"""MPI datatypes and reduction operators."""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import MpiError
+
+
+class Datatype(enum.Enum):
+    """Subset of MPI predefined datatypes used by DL workloads."""
+
+    FLOAT32 = ("float32", 4)
+    FLOAT64 = ("float64", 8)
+    FLOAT16 = ("float16", 2)
+    INT32 = ("int32", 4)
+    INT64 = ("int64", 8)
+    UINT8 = ("uint8", 1)
+
+    def __init__(self, np_name: str, size: int):
+        self.np_name = np_name
+        self.size = size
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(self.np_name)
+
+    @classmethod
+    def from_numpy(cls, dtype: np.dtype) -> "Datatype":
+        name = np.dtype(dtype).name
+        for member in cls:
+            if member.np_name == name:
+                return member
+        raise MpiError(f"unsupported numpy dtype {dtype!r}")
+
+
+class ReduceOp(enum.Enum):
+    """MPI reduction operators with their numpy implementations."""
+
+    SUM = "sum"
+    PROD = "prod"
+    MAX = "max"
+    MIN = "min"
+
+    @property
+    def ufunc(self) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+        return {
+            ReduceOp.SUM: np.add,
+            ReduceOp.PROD: np.multiply,
+            ReduceOp.MAX: np.maximum,
+            ReduceOp.MIN: np.minimum,
+        }[self]
+
+    def reduce(self, arrays: list[np.ndarray]) -> np.ndarray:
+        if not arrays:
+            raise MpiError("reduce of empty buffer list")
+        out = arrays[0].copy()
+        for arr in arrays[1:]:
+            self.ufunc(out, arr, out=out)
+        return out

@@ -1,0 +1,102 @@
+"""MVAPICH2-GDR tuning surface.
+
+:class:`Mv2Config` mirrors the environment variables the paper manipulates.
+The three named scenarios of §III-D are built from it in
+:mod:`repro.core.scenarios`:
+
+* **MPI**      — ``registration_cache=False``, no ``MV2_VISIBLE_DEVICES``
+  (IPC lost under per-rank ``CUDA_VISIBLE_DEVICES``);
+* **MPI-Reg**  — registration cache on, IPC still lost;
+* **MPI-Opt**  — registration cache on *and* ``MV2_VISIBLE_DEVICES=all``
+  restoring IPC for the MPI layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional
+
+from repro.errors import ConfigError
+from repro.utils.units import KIB, parse_bytes
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Mv2Config:
+    """Knobs of the simulated MVAPICH2-GDR build."""
+
+    # Point-to-point protocol switch (MV2_IBA_EAGER_THRESHOLD).
+    eager_threshold: int = 16 * KIB
+    # GPU-GPU intra-node: may MPI attempt CUDA IPC at all (MV2_CUDA_IPC)?
+    cuda_ipc_enabled: bool = True
+    # The paper's proposed variable: MPI-layer device visibility, decoupled
+    # from the application's CUDA_VISIBLE_DEVICES.  ``None`` -> MPI inherits
+    # the application mask (default behaviour the paper fixes).
+    mv2_visible_devices: Optional[str] = None
+    # InfiniBand registration cache (MV2_USE_REGISTRATION_CACHE).
+    registration_cache: bool = False
+    # GPUDirect RDMA for inter-node transfers (MV2_USE_GPUDIRECT).
+    gdr_enabled: bool = True
+    # Shared-memory staging parameters for the non-IPC intra-node path
+    # (MV2_CUDA_SMP_PIPELINE chunking).
+    smp_chunk_bytes: int = 512 * KIB
+    smp_chunk_overhead_s: float = 18e-6
+    # Effective bandwidth of the CUDA-IPC large-message pipeline.  MVAPICH2
+    # moves IPC data through a chunked intermediate mapping with per-chunk
+    # handshakes, sustaining far less than raw NVLink; 5.9 GB/s back-solves
+    # from Table I's optimized allreduce time (~39 ms/step at 4 GPUs).
+    cuda_ipc_bandwidth: float = 5.9e9
+    # Collective algorithm override: None -> size/topology heuristic.
+    allreduce_algorithm: Optional[str] = None
+    # Registration cache capacity (entries).
+    reg_cache_entries: int = 1024
+
+    def __post_init__(self) -> None:
+        check_positive("eager_threshold", self.eager_threshold)
+        check_positive("smp_chunk_bytes", self.smp_chunk_bytes)
+        if self.smp_chunk_overhead_s < 0:
+            raise ConfigError("smp_chunk_overhead_s must be >= 0")
+        if self.allreduce_algorithm is not None and self.allreduce_algorithm not in (
+            "ring",
+            "recursive_doubling",
+            "reduce_scatter_allgather",
+            "hierarchical",
+        ):
+            raise ConfigError(
+                f"unknown allreduce algorithm {self.allreduce_algorithm!r}"
+            )
+
+    # -- env-var interface -------------------------------------------------
+    @classmethod
+    def from_env(cls, env: Mapping[str, str]) -> "Mv2Config":
+        """Build a config from MVAPICH2-style environment variables."""
+        kwargs = {}
+        if "MV2_IBA_EAGER_THRESHOLD" in env:
+            kwargs["eager_threshold"] = parse_bytes(env["MV2_IBA_EAGER_THRESHOLD"])
+        if "MV2_CUDA_IPC" in env:
+            kwargs["cuda_ipc_enabled"] = env["MV2_CUDA_IPC"] not in ("0", "off")
+        if "MV2_VISIBLE_DEVICES" in env:
+            kwargs["mv2_visible_devices"] = env["MV2_VISIBLE_DEVICES"]
+        if "MV2_USE_REGISTRATION_CACHE" in env:
+            kwargs["registration_cache"] = env["MV2_USE_REGISTRATION_CACHE"] not in (
+                "0",
+                "off",
+            )
+        if "MV2_USE_GPUDIRECT" in env:
+            kwargs["gdr_enabled"] = env["MV2_USE_GPUDIRECT"] not in ("0", "off")
+        if "MV2_ALLREDUCE_ALGORITHM" in env:
+            kwargs["allreduce_algorithm"] = env["MV2_ALLREDUCE_ALGORITHM"]
+        return cls(**kwargs)
+
+    def replace(self, **kwargs) -> "Mv2Config":
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        parts = [
+            f"eager<= {self.eager_threshold}B",
+            f"ipc={'on' if self.cuda_ipc_enabled else 'off'}",
+            f"mv2_visible={self.mv2_visible_devices or '(inherit)'}",
+            f"regcache={'on' if self.registration_cache else 'off'}",
+            f"gdr={'on' if self.gdr_enabled else 'off'}",
+        ]
+        return ", ".join(parts)

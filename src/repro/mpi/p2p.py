@@ -1,0 +1,253 @@
+"""Point-to-point MPI semantics over the event engine.
+
+The collective engines (:mod:`repro.mpi.collectives`) time BSP step
+schedules directly; this module provides the *message-passing* layer
+underneath for protocol-level studies and tests: tagged send/recv with MPI
+matching semantics, the eager/rendezvous protocol split, and non-blocking
+requests.
+
+Semantics implemented:
+
+* **matching** — a receive matches the oldest pending send with the same
+  (source, tag); ``ANY_SOURCE``/``ANY_TAG`` wildcards supported;
+* **eager** — sends at or below the eager threshold complete locally as
+  soon as the data is buffered (copied out); the payload travels
+  immediately and waits in the receiver's unexpected-message queue;
+* **rendezvous** — larger sends post an RTS and block until the matching
+  receive posts its CTS; only then does the wire transfer run (zero-copy,
+  no unexpected-queue buffering);
+* **truncation** — receiving into a smaller buffer raises
+  :class:`~repro.errors.MpiTruncateError`, as MPI_ERR_TRUNCATE would;
+* **deadlock** — two blocking rendezvous sends toward each other never
+  progress; the simulation engine's drain detection turns that into
+  :class:`~repro.errors.DeadlockError` rather than a hang.
+
+Functional payloads (numpy arrays) are delivered by reference-copy at
+matching time, so correctness tests exercise real data movement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MpiError, MpiRankError, MpiTruncateError
+from repro.mpi.transports import TransportModel
+from repro.sim.engine import Environment, Event
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class _PendingSend:
+    seq: int
+    src: int
+    tag: int
+    nbytes: int
+    data: Optional[np.ndarray]
+    wire_done: Event  # fires when payload has traversed the transport
+    rendezvous_started: Event | None  # CTS gate for rendezvous sends
+
+
+@dataclass
+class _PendingRecv:
+    seq: int
+    src: int  # may be ANY_SOURCE
+    tag: int  # may be ANY_TAG
+    nbytes: int
+    out: Optional[np.ndarray]
+    done: Event  # fires with a RecvStatus
+
+
+@dataclass(frozen=True)
+class RecvStatus:
+    """What MPI_Status would carry."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+class P2PFabric:
+    """Message-matching engine for one world."""
+
+    def __init__(self, transport: TransportModel):
+        self.transport = transport
+        self.env: Environment = transport.cluster.env
+        self._seq = itertools.count()
+        # per destination rank: unmatched sends / unmatched recvs
+        self._sends: dict[int, list[_PendingSend]] = {}
+        self._recvs: dict[int, list[_PendingRecv]] = {}
+        self.messages_delivered = 0
+
+    def _check_rank(self, rank: int) -> None:
+        if rank not in self.transport.ranks:
+            raise MpiRankError(f"rank {rank} not in world")
+
+    # -- matching core -----------------------------------------------------
+    @staticmethod
+    def _matches(send: _PendingSend, recv: _PendingRecv) -> bool:
+        src_ok = recv.src == ANY_SOURCE or recv.src == send.src
+        tag_ok = recv.tag == ANY_TAG or recv.tag == send.tag
+        return src_ok and tag_ok
+
+    def _try_match(self, dst: int) -> None:
+        recvs = self._recvs.get(dst, [])
+        sends = self._sends.get(dst, [])
+        matched = True
+        while matched:
+            matched = False
+            for ri, recv in enumerate(recvs):
+                for si, send in enumerate(sends):
+                    if self._matches(send, recv):
+                        recvs.pop(ri)
+                        sends.pop(si)
+                        self._complete(send, recv, dst)
+                        matched = True
+                        break
+                if matched:
+                    break
+
+    def _complete(self, send: _PendingSend, recv: _PendingRecv, dst: int) -> None:
+        if send.nbytes > recv.nbytes:
+            exc = MpiTruncateError(
+                f"message of {send.nbytes}B truncated into {recv.nbytes}B buffer "
+                f"(src={send.src}, dst={dst}, tag={send.tag})"
+            )
+            recv.done.fail(exc)
+            # sender side also observes the error in real MPI only sometimes;
+            # we propagate so tests fail loudly
+            if send.rendezvous_started is not None and not send.rendezvous_started.triggered:
+                send.rendezvous_started.fail(exc)
+            return
+        if send.rendezvous_started is not None:
+            # CTS: unblock the sender; the wire transfer starts now
+            send.rendezvous_started.succeed()
+
+        def deliver():
+            yield send.wire_done
+            if send.data is not None and recv.out is not None:
+                flat = recv.out.reshape(-1)
+                flat[: send.data.size] = send.data.reshape(-1)
+            self.messages_delivered += 1
+            recv.done.succeed(RecvStatus(send.src, send.tag, send.nbytes))
+
+        self.env.process(deliver(), name=f"deliver:{send.src}->{dst}:{send.tag}")
+
+    # -- public operations ------------------------------------------------------
+    def isend(
+        self,
+        src: int,
+        dst: int,
+        *,
+        tag: int = 0,
+        data: Optional[np.ndarray] = None,
+        nbytes: Optional[int] = None,
+    ) -> Event:
+        """Non-blocking send; returned event fires when the send completes
+        (locally for eager, after the wire for rendezvous)."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            raise MpiError("self-sends must be matched by a posted self-recv; "
+                           "use distinct ranks in this simulation")
+        if data is None and nbytes is None:
+            raise MpiError("isend needs data or nbytes")
+        size = int(nbytes if nbytes is not None else data.size * data.itemsize)
+        payload = None if data is None else np.array(data, copy=True)
+        eager = size <= self.transport.config.eager_threshold
+        wire_done = self.env.event(name=f"wire:{src}->{dst}")
+        completion = self.env.event(name=f"send-done:{src}->{dst}")
+        rendezvous_started = None if eager else self.env.event(
+            name=f"cts:{src}->{dst}"
+        )
+
+        def wire():
+            if rendezvous_started is not None:
+                yield rendezvous_started
+            yield self.env.process(self.transport.transfer_proc(src, dst, size))
+            wire_done.succeed()
+
+        self.env.process(wire(), name=f"send:{src}->{dst}:{tag}")
+
+        send = _PendingSend(
+            seq=next(self._seq),
+            src=src,
+            tag=tag,
+            nbytes=size,
+            data=payload,
+            wire_done=wire_done,
+            rendezvous_started=rendezvous_started,
+        )
+        self._sends.setdefault(dst, []).append(send)
+
+        def completer():
+            if eager:
+                # eager: send buffer reusable immediately after local copy
+                yield self.env.timeout(0)
+            else:
+                yield wire_done
+            completion.succeed()
+
+        self.env.process(completer(), name=f"send-completion:{src}->{dst}")
+        self._try_match(dst)
+        return completion
+
+    def irecv(
+        self,
+        dst: int,
+        *,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        out: Optional[np.ndarray] = None,
+        nbytes: Optional[int] = None,
+    ) -> Event:
+        """Non-blocking receive; event value is a :class:`RecvStatus`."""
+        self._check_rank(dst)
+        if source != ANY_SOURCE:
+            self._check_rank(source)
+        if out is None and nbytes is None:
+            raise MpiError("irecv needs an output array or nbytes capacity")
+        capacity = int(nbytes if nbytes is not None else out.size * out.itemsize)
+        done = self.env.event(name=f"recv-done:{dst}")
+        recv = _PendingRecv(
+            seq=next(self._seq),
+            src=source,
+            tag=tag,
+            nbytes=capacity,
+            out=out,
+            done=done,
+        )
+        self._recvs.setdefault(dst, []).append(recv)
+        self._try_match(dst)
+        return done
+
+    # -- blocking conveniences (for use inside simulation processes) -----------
+    def send(self, src: int, dst: int, **kwargs):
+        """Process helper: ``yield from fabric.send(...)``."""
+        completion = self.isend(src, dst, **kwargs)
+        yield completion
+
+    def recv(self, dst: int, **kwargs):
+        """Process helper: ``status = yield from fabric.recv(...)``."""
+        done = self.irecv(dst, **kwargs)
+        status = yield done
+        return status
+
+    def sendrecv(self, rank: int, dst: int, src: int, *, send_kwargs=None,
+                 recv_kwargs=None):
+        """Simultaneous send+recv (deadlock-free exchange primitive)."""
+        send_done = self.isend(rank, dst, **(send_kwargs or {}))
+        recv_done = self.irecv(rank, source=src, **(recv_kwargs or {}))
+        yield self.env.all_of([send_done, recv_done])
+        return recv_done.value
+
+    def pending_counts(self) -> tuple[int, int]:
+        """(unmatched sends, unmatched recvs) — for drain assertions."""
+        sends = sum(len(v) for v in self._sends.values())
+        recvs = sum(len(v) for v in self._recvs.values())
+        return sends, recvs

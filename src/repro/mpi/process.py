@@ -1,0 +1,155 @@
+"""Rank/process model and world construction.
+
+One MPI rank drives one GPU (the paper's launch configuration: 4 ranks per
+Lassen node).  Each rank has
+
+* an *application* CUDA context restricted by whatever
+  ``CUDA_VISIBLE_DEVICES`` policy is in force, and
+* an *MPI-layer* device mask — normally inherited from the application, but
+  overridable with the paper's proposed ``MV2_VISIBLE_DEVICES`` when the
+  runtime supports cross-visibility IPC (CUDA >= 10.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.cuda.env import VisibilityMask
+from repro.cuda.runtime import CudaContext, CudaRuntime, CudaVersion, DEFAULT_CUDA_VERSION
+from repro.errors import ConfigError
+from repro.hardware.cluster import Cluster
+from repro.hardware.node import DeviceRef
+from repro.mpi.env import Mv2Config
+
+
+class DevicePolicy(Protocol):
+    """Maps a local rank to its application-level visibility mask."""
+
+    def app_mask(self, local_rank: int, gpus_per_node: int) -> VisibilityMask:
+        """Return the CUDA_VISIBLE_DEVICES mask for this local rank."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class SingletonDevicePolicy:
+    """``CUDA_VISIBLE_DEVICES=local_rank`` — the recommended (but
+    IPC-breaking) discipline from the paper's §III-C."""
+
+    def app_mask(self, local_rank: int, gpus_per_node: int) -> VisibilityMask:
+        return VisibilityMask.single(local_rank)
+
+
+@dataclass(frozen=True)
+class AllDevicesPolicy:
+    """No restriction: every process sees every GPU (Fig. 6a behaviour)."""
+
+    def app_mask(self, local_rank: int, gpus_per_node: int) -> VisibilityMask:
+        return VisibilityMask.all_devices(gpus_per_node)
+
+
+@dataclass
+class RankContext:
+    """Everything the communication layers need to know about one rank."""
+
+    rank: int
+    node_id: int
+    local_rank: int
+    device_ref: DeviceRef
+    app_ctx: CudaContext
+    mpi_mask: VisibilityMask
+    runtime: CudaRuntime
+
+    @property
+    def physical_device(self) -> int:
+        return self.device_ref.index
+
+    def mpi_sees(self, physical: int) -> bool:
+        return self.mpi_mask.sees(physical)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Rank {self.rank} node={self.node_id} gpu={self.physical_device} "
+            f"app_mask={self.app_ctx.mask} mpi_mask={self.mpi_mask}>"
+        )
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """Inputs needed to instantiate a set of ranks on a cluster."""
+
+    num_ranks: int
+    policy: DevicePolicy
+    config: Mv2Config
+    cuda_version: CudaVersion = DEFAULT_CUDA_VERSION
+    # Model the frameworks' aggressive context creation (Fig. 6a): every
+    # process touches all of its visible devices at startup.
+    touch_all_visible: bool = True
+
+
+def _resolve_mpi_mask(
+    app_mask: VisibilityMask,
+    config: Mv2Config,
+    cuda_version: CudaVersion,
+    gpus_per_node: int,
+) -> VisibilityMask:
+    """Apply the MV2_VISIBLE_DEVICES override semantics.
+
+    Before CUDA 10.1 the override is ineffective: even if MPI *sees* more
+    devices, ``cuIpcOpenMemHandle`` fails for devices outside
+    ``CUDA_VISIBLE_DEVICES``, so MVAPICH2 falls back to the application
+    mask.  From 10.1 the override takes effect (the paper's §III-C).
+    """
+    if config.mv2_visible_devices is None:
+        return app_mask
+    if not cuda_version.supports_cross_visibility_ipc:
+        return app_mask
+    text = config.mv2_visible_devices
+    if text == "all":
+        return VisibilityMask.all_devices(gpus_per_node)
+    return VisibilityMask.parse(text)
+
+
+def build_world(cluster: Cluster, spec: WorldSpec) -> list[RankContext]:
+    """Create one rank per GPU in MPI rank order (node-major)."""
+    gpn = cluster.gpus_per_node
+    if spec.num_ranks < 1:
+        raise ConfigError(f"num_ranks must be >= 1, got {spec.num_ranks}")
+    if spec.num_ranks > cluster.num_gpus:
+        raise ConfigError(
+            f"{spec.num_ranks} ranks > {cluster.num_gpus} GPUs in cluster"
+        )
+    runtimes: dict[int, CudaRuntime] = {}
+    ranks: list[RankContext] = []
+    for rank in range(spec.num_ranks):
+        node_id, local_rank = divmod(rank, gpn)
+        runtime = runtimes.get(node_id)
+        if runtime is None:
+            runtime = CudaRuntime(cluster, node_id, version=spec.cuda_version)
+            runtimes[node_id] = runtime
+        app_mask = spec.policy.app_mask(local_rank, gpn)
+        if not app_mask.sees(local_rank):
+            raise ConfigError(
+                f"policy mask {app_mask} for local rank {local_rank} hides its own GPU"
+            )
+        ctx = runtime.create_context(pid=rank + 1, mask=app_mask)
+        # select the logical ordinal that maps to this rank's physical GPU
+        logical = app_mask.physical.index(local_rank)
+        ctx.set_device(logical)
+        if spec.touch_all_visible:
+            ctx.touch_all_visible()
+        else:
+            ctx.ensure_context(local_rank)
+        mpi_mask = _resolve_mpi_mask(app_mask, spec.config, spec.cuda_version, gpn)
+        ranks.append(
+            RankContext(
+                rank=rank,
+                node_id=node_id,
+                local_rank=local_rank,
+                device_ref=cluster.gpu_ref(rank),
+                app_ctx=ctx,
+                mpi_mask=mpi_mask,
+                runtime=runtime,
+            )
+        )
+    return ranks

@@ -1,0 +1,190 @@
+"""NCCL communicator: ring/tree allreduce timing + functional semantics.
+
+Presents the same lock-step SPMD interface as
+:class:`repro.mpi.comm.Communicator` so Horovod can swap backends
+(`HOROVOD_GPU_ALLREDUCE=NCCL` vs MPI in the paper's runs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import NcclError
+from repro.hardware.cluster import Cluster
+from repro.mpi.collectives.base import CollectiveTiming, ExecutionMode
+from repro.mpi.comm import (
+    CollectiveObserver,
+    GpuBuffer,
+    apply_allreduce,
+    apply_bcast,
+)
+from repro.mpi.datatypes import ReduceOp
+from repro.nccl.protocol import DEFAULT_PROTOCOL, NcclProtocol
+from repro.nccl.rings import ring_bandwidth, ring_hop_latency
+
+
+class NcclWorld:
+    """NCCL job state: cluster + protocol; visibility policies do not apply."""
+
+    backend_name = "nccl"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        num_ranks: int,
+        protocol: NcclProtocol = DEFAULT_PROTOCOL,
+    ):
+        if num_ranks < 1:
+            raise NcclError(f"num_ranks must be >= 1, got {num_ranks}")
+        if num_ranks > cluster.num_gpus:
+            raise NcclError(
+                f"{num_ranks} ranks > {cluster.num_gpus} GPUs in cluster"
+            )
+        self.cluster = cluster
+        self.protocol = protocol
+        self.num_ranks = num_ranks
+
+    @property
+    def size(self) -> int:
+        return self.num_ranks
+
+    def communicator(self) -> "NcclCommunicator":
+        return NcclCommunicator(self, list(range(self.num_ranks)))
+
+
+class NcclCommunicator:
+    """Ring/tree-based collectives with NCCL cost envelope."""
+
+    def __init__(self, world: NcclWorld, ranks: Sequence[int]):
+        self.world = world
+        self.ranks = list(ranks)
+        self.observers: list[CollectiveObserver] = []
+        self.total_comm_time = 0.0
+        self.op_count = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def add_observer(self, observer: CollectiveObserver) -> None:
+        self.observers.append(observer)
+
+    # -- timing models ----------------------------------------------------------
+    def _node_count(self) -> int:
+        gpn = self.world.cluster.gpus_per_node
+        return len({r // gpn for r in self.ranks})
+
+    def _ring_allreduce_time(self, nbytes: int) -> float:
+        p = len(self.ranks)
+        proto = self.world.protocol
+        if p <= 1 or nbytes == 0:
+            return 0.0
+        if nbytes <= proto.ll_threshold:
+            return proto.ll_op_latency_s + math.log2(max(p, 2)) * proto.intra_step_latency_s
+        bw = ring_bandwidth(self.world.cluster, self.ranks, proto)
+        hop = ring_hop_latency(self.world.cluster, self.ranks, proto)
+        steps = 2 * (p - 1)
+        # chunk pipelining: latency per pipeline stage + bandwidth term
+        fill = min(nbytes / p, proto.chunk_bytes) / bw if bw != float("inf") else 0.0
+        return steps * (hop + fill) + 2 * nbytes * (p - 1) / (p * bw)
+
+    def _tree_allreduce_time(self, nbytes: int) -> float:
+        """Double-binary-tree estimate: depth in nodes, full bandwidth."""
+        p = len(self.ranks)
+        proto = self.world.protocol
+        nodes = self._node_count()
+        if p <= 1 or nbytes == 0:
+            return 0.0
+        cluster = self.world.cluster
+        ib_bw = cluster.spec.ib.bandwidth * proto.ib_efficiency
+        nv_bw = cluster.spec.node.nvlink_gpu_gpu.bandwidth * proto.nvlink_efficiency
+        depth = math.ceil(math.log2(max(nodes, 2))) + math.ceil(
+            math.log2(max(p // max(nodes, 1), 2))
+        )
+        latency = 2 * depth * proto.inter_step_latency_s
+        # reduce + broadcast sweep: 2n over the bottleneck (IB when multi-node)
+        bw = ib_bw if nodes > 1 else nv_bw
+        return latency + 2 * nbytes / bw + 2 * depth * (proto.chunk_bytes / bw)
+
+    def _allreduce_time(self, nbytes: int) -> tuple[float, str]:
+        ring = self._ring_allreduce_time(nbytes)
+        if self._node_count() >= self.world.protocol.tree_node_threshold:
+            tree = self._tree_allreduce_time(nbytes)
+            if tree < ring:
+                return tree, "nccl-tree"
+        return ring, "nccl-ring"
+
+    def _bcast_time(self, nbytes: int) -> float:
+        p = len(self.ranks)
+        proto = self.world.protocol
+        if p <= 1 or nbytes == 0:
+            return 0.0
+        bw = ring_bandwidth(self.world.cluster, self.ranks, proto)
+        hop = ring_hop_latency(self.world.cluster, self.ranks, proto)
+        # pipelined ring broadcast: n/B + (p-1) pipeline stages
+        return nbytes / bw + (p - 1) * (hop + proto.chunk_bytes / bw)
+
+    # -- collective API ------------------------------------------------------------
+    def _validate(self, buffers: Sequence[GpuBuffer]) -> int:
+        if len(buffers) != self.size:
+            raise NcclError(
+                f"collective needs {self.size} buffers, got {len(buffers)}"
+            )
+        sizes = {b.nbytes for b in buffers}
+        if len(sizes) != 1:
+            raise NcclError(f"mismatched buffer sizes: {sorted(sizes)}")
+        return sizes.pop()
+
+    def _notify(self, timing: CollectiveTiming) -> None:
+        self.total_comm_time += timing.time
+        self.op_count += 1
+        for observer in self.observers:
+            observer(timing, self.world.backend_name)
+
+    def allreduce(
+        self,
+        buffers: Sequence[GpuBuffer],
+        op: ReduceOp = ReduceOp.SUM,
+        *,
+        average: bool = False,
+        algorithm: str | None = None,
+    ) -> CollectiveTiming:
+        nbytes = self._validate(buffers)
+        apply_allreduce(buffers, op, average=average)
+        time, algo = self._allreduce_time(nbytes)
+        timing = CollectiveTiming(
+            "allreduce", algo, nbytes, self.size, time, ExecutionMode.ANALYTIC
+        )
+        self._notify(timing)
+        return timing
+
+    def bcast(
+        self, buffers: Sequence[GpuBuffer], *, root_index: int = 0
+    ) -> CollectiveTiming:
+        nbytes = self._validate(buffers)
+        apply_bcast(buffers, root_index)
+        timing = CollectiveTiming(
+            "bcast",
+            "nccl-ring",
+            nbytes,
+            self.size,
+            self._bcast_time(nbytes),
+            ExecutionMode.ANALYTIC,
+        )
+        self._notify(timing)
+        return timing
+
+    def barrier(self) -> CollectiveTiming:
+        p = len(self.ranks)
+        proto = self.world.protocol
+        time = (
+            math.ceil(math.log2(max(p, 2))) * proto.inter_step_latency_s
+            if p > 1
+            else 0.0
+        )
+        timing = CollectiveTiming(
+            "barrier", "nccl", 0, p, time, ExecutionMode.ANALYTIC
+        )
+        self._notify(timing)
+        return timing

@@ -1,0 +1,43 @@
+"""NCCL protocol constants.
+
+NCCL pipelines fixed-size chunks through its rings/trees with two wire
+protocols (LL for latency, Simple for bandwidth); we model the envelope:
+a per-step latency, a protocol bandwidth efficiency, and a chunk size that
+sets the pipeline-fill cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import KIB
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class NcclProtocol:
+    """Tuning envelope of an NCCL build (defaults calibrated to NCCL 2.8)."""
+
+    intra_step_latency_s: float = 3.5e-6
+    inter_step_latency_s: float = 8.5e-6
+    # Fraction of raw link bandwidth the Simple protocol sustains.
+    nvlink_efficiency: float = 0.82
+    ib_efficiency: float = 0.88
+    chunk_bytes: int = 512 * KIB
+    # Below this size the LL protocol's latency dominates; modelled as a
+    # fixed floor per operation.
+    ll_threshold: int = 64 * KIB
+    ll_op_latency_s: float = 25e-6
+    # Tree algorithm becomes profitable above this node count (NCCL 2.8
+    # enables double binary trees at scale).
+    tree_node_threshold: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive("chunk_bytes", self.chunk_bytes)
+        for name in ("nvlink_efficiency", "ib_efficiency"):
+            value = getattr(self, name)
+            if not 0 < value <= 1:
+                raise ValueError(f"{name} must be in (0,1], got {value}")
+
+
+DEFAULT_PROTOCOL = NcclProtocol()

@@ -1,0 +1,75 @@
+"""NCCL ring construction over the simulated topology.
+
+NCCL searches the PCI/NVLink graph for rings; on Lassen-like nodes the
+natural ring follows local ordinals within each node and hops to the next
+node once (GPU ids are node-major, so the identity order is already the
+topology-aware ring).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NcclError
+from repro.hardware.cluster import Cluster
+
+
+def build_ring(cluster: Cluster, ranks: list[int]) -> list[int]:
+    """Return the rank order of the (single logical) ring.
+
+    Ranks must be node-contiguous (NCCL requires communicator-wide device
+    discovery; our launcher allocates ranks node-major).
+    """
+    if not ranks:
+        raise NcclError("cannot build a ring over zero ranks")
+    return sorted(ranks)
+
+
+def ring_bandwidth(
+    cluster: Cluster, ranks: list[int], protocol, *, channels: int = 1
+) -> float:
+    """Steady-state per-rank ring bandwidth (bytes/s).
+
+    The ring's throughput is bounded by its slowest hop: NVLink hops within
+    a node, one IB hop in and out of each node when the ring spans nodes.
+
+    ``channels`` models NCCL's parallel rings: intra-node hops aggregate
+    additional NVLink bricks (up to 3 on Lassen), while the inter-node hop
+    shares the single HCA and gains nothing — which is why multi-channel
+    NCCL helps single-node jobs but not IB-bound multi-node rings.
+    """
+    if channels < 1:
+        raise NcclError(f"channels must be >= 1, got {channels}")
+    ring = build_ring(cluster, ranks)
+    p = len(ring)
+    if p == 1:
+        return float("inf")
+    nvlink_channels = min(channels, 3)  # NVLink2 bricks per GPU pair class
+    slowest = float("inf")
+    for i, rank in enumerate(ring):
+        nxt = ring[(i + 1) % p]
+        a, b = cluster.gpu_ref(rank), cluster.gpu_ref(nxt)
+        raw = cluster.path_bandwidth(a, b)
+        if a.node != b.node:
+            hop = raw * protocol.ib_efficiency
+        else:
+            hop = raw * protocol.nvlink_efficiency * nvlink_channels
+        slowest = min(slowest, hop)
+    return slowest
+
+
+def ring_hop_latency(cluster: Cluster, ranks: list[int], protocol) -> float:
+    """Worst per-step latency across ring hops."""
+    ring = build_ring(cluster, ranks)
+    p = len(ring)
+    if p == 1:
+        return 0.0
+    worst = 0.0
+    for i, rank in enumerate(ring):
+        nxt = ring[(i + 1) % p]
+        a, b = cluster.gpu_ref(rank), cluster.gpu_ref(nxt)
+        lat = (
+            protocol.inter_step_latency_s
+            if a.node != b.node
+            else protocol.intra_step_latency_s
+        )
+        worst = max(worst, lat)
+    return worst

@@ -1,0 +1,21 @@
+"""hvprof: the Horovod/MPI communication profiler the paper relies on.
+
+Reimplements the tool from the paper's reference [9]: it attaches to the
+communication backend (framework- and backend-agnostic — any communicator
+exposing the observer hook), buckets every collective by message size, and
+reports per-bucket counts and total times.  The outputs regenerate the
+paper's Fig. 14 and Table I.
+"""
+
+from repro.profiling.bins import PAPER_BINS, SizeBin, bin_for
+from repro.profiling.hvprof import Hvprof
+from repro.profiling.report import comparison_table, improvement_summary
+
+__all__ = [
+    "SizeBin",
+    "PAPER_BINS",
+    "bin_for",
+    "Hvprof",
+    "comparison_table",
+    "improvement_summary",
+]

@@ -1,0 +1,54 @@
+"""Default-vs-optimized comparison reports (Table I's format)."""
+
+from __future__ import annotations
+
+from repro.profiling.hvprof import Hvprof
+from repro.utils.tables import TextTable
+
+
+def improvement_summary(
+    default: Hvprof, optimized: Hvprof, op: str = "allreduce"
+) -> dict[str, float]:
+    """Per-bin and total percentage improvement of optimized over default."""
+    out: dict[str, float] = {}
+    default_bins = default.by_bin(op)
+    optimized_bins = optimized.by_bin(op)
+    for size_bin in default.bins:
+        d = default_bins[size_bin].total_time
+        o = optimized_bins[size_bin].total_time
+        out[size_bin.label] = 100.0 * (d - o) / d if d > 0 else 0.0
+    d_total = default.total_time(op)
+    o_total = optimized.total_time(op)
+    out["Total"] = 100.0 * (d_total - o_total) / d_total if d_total > 0 else 0.0
+    return out
+
+
+def comparison_table(
+    default: Hvprof,
+    optimized: Hvprof,
+    op: str = "allreduce",
+    *,
+    title: str = "Allreduce time performance improvement (Table I)",
+) -> str:
+    """Render the Table I layout: per-bin default/optimized ms + % gain."""
+    table = TextTable(
+        ["Message Size (Bytes)", "Default (ms)", "Optimized (ms)", "Improvement (%)"],
+        title=title,
+    )
+    default_bins = default.by_bin(op)
+    optimized_bins = optimized.by_bin(op)
+    summary = improvement_summary(default, optimized, op)
+    for size_bin in default.bins:
+        table.add_row(
+            size_bin.label,
+            default_bins[size_bin].total_time * 1e3,
+            optimized_bins[size_bin].total_time * 1e3,
+            summary[size_bin.label],
+        )
+    table.add_row(
+        "Total Time",
+        default.total_time(op) * 1e3,
+        optimized.total_time(op) * 1e3,
+        summary["Total"],
+    )
+    return table.render()

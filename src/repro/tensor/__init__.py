@@ -1,0 +1,15 @@
+"""Minimal NumPy-backed deep-learning framework (the "PyTorch" substrate).
+
+Provides exactly what EDSR-class models need: a reverse-mode autograd
+``Tensor``, convolution/pixel-shuffle/activation/loss ops, an ``nn.Module``
+hierarchy, and SGD/Adam optimizers with LR schedules.  Everything runs on
+plain ``numpy`` so training is *real* (gradients, convergence, PSNR) even
+though the hardware underneath is simulated.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+from repro.tensor import nn
+from repro.tensor import optim
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional", "nn", "optim"]

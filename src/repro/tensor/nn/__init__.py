@@ -1,0 +1,30 @@
+"""Neural-network module system."""
+
+from repro.tensor.nn.module import Module, Parameter
+from repro.tensor.nn.layers import (
+    Conv2d,
+    Linear,
+    ReLU,
+    LeakyReLU,
+    Sequential,
+    PixelShuffle,
+    BatchNorm2d,
+    Identity,
+    Flatten,
+)
+from repro.tensor.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Conv2d",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Sequential",
+    "PixelShuffle",
+    "BatchNorm2d",
+    "Identity",
+    "Flatten",
+    "init",
+]

@@ -1,0 +1,40 @@
+"""Weight initializers (deterministic given an RNG)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:  # linear (out, in)
+        return shape[1], shape[0]
+    if len(shape) == 4:  # conv (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ConfigError(f"cannot infer fan for shape {shape}")
+
+
+def kaiming_normal(
+    shape: tuple[int, ...], rng: np.random.Generator, *, nonlinearity: str = "relu"
+) -> np.ndarray:
+    """He initialization (what the EDSR reference implementation uses)."""
+    fan_in, _ = _fan_in_out(shape)
+    gain = np.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    std = gain / np.sqrt(fan_in)
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

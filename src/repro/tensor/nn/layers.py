@@ -1,0 +1,173 @@
+"""Standard layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.tensor import functional as F
+from repro.tensor.nn import init
+from repro.tensor.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+
+class Conv2d(Module):
+    """2-D convolution with 'same'-style integer padding."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        stride: int = 1,
+        padding: int | None = None,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if in_channels < 1 or out_channels < 1 or kernel_size < 1:
+            raise ConfigError("Conv2d dimensions must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.weight = Parameter(
+            init.kaiming_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), rng
+            ),
+            name="weight",
+        )
+        self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(
+            x, self.weight, self.bias, stride=self.stride, padding=self.padding
+        )
+
+
+class Linear(Module):
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_normal((out_features, in_features), rng), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.matmul(x, self.weight.transpose())
+        if self.bias is not None:
+            out = F.add(out, self.bias)
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.reshape(x, (x.shape[0], -1))
+
+
+class PixelShuffle(Module):
+    """Sub-pixel convolution upsampler component (EDSR tail)."""
+
+    def __init__(self, upscale_factor: int):
+        super().__init__()
+        if upscale_factor < 1:
+            raise ConfigError(f"upscale_factor must be >= 1, got {upscale_factor}")
+        self.upscale_factor = upscale_factor
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.pixel_shuffle(x, self.upscale_factor)
+
+
+class BatchNorm2d(Module):
+    """Batch normalization (SRResNet keeps it; EDSR's key edit removes it).
+
+    Gradients treat the batch statistics as constants (the "frozen
+    statistics" approximation).  This is exact in eval mode and a standard
+    simplification in training mode; the SRResNet baseline is compared on
+    throughput/architecture, not BN-gradient fidelity.
+    """
+
+    def __init__(self, num_features: int, *, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)), name="weight")
+        self.bias = Parameter(init.zeros((num_features,)), name="bias")
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"BatchNorm2d expects (N,{self.num_features},H,W), got {x.shape}"
+            )
+        if self.training:
+            batch_mean = x.data.mean(axis=(0, 2, 3))
+            batch_var = x.data.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            ).astype(np.float32)
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * batch_var
+            ).astype(np.float32)
+            mean, var = batch_mean, batch_var
+        else:
+            mean, var = self.running_mean, self.running_var
+        mean_t = Tensor(mean.reshape(1, -1, 1, 1))
+        std_t = Tensor(np.sqrt(var + self.eps).reshape(1, -1, 1, 1))
+        normalized = F.div(F.sub(x, mean_t), std_t)
+        scale = F.reshape(self.weight, (1, -1, 1, 1))
+        shift = F.reshape(self.bias, (1, -1, 1, 1))
+        return F.add(F.mul(normalized, scale), shift)
+
+
+class Sequential(Module):
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._seq = list(modules)
+        for i, module in enumerate(modules):
+            setattr(self, f"layer{i}", module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._seq:
+            x = module(x)
+        return x
+
+    def __getitem__(self, index: int) -> Module:
+        return self._seq[index]
+
+    def __len__(self) -> int:
+        return len(self._seq)

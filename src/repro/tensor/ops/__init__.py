@@ -1,0 +1,39 @@
+"""Differentiable operations.
+
+Importing this package binds the operator protocol (``+``, ``*``, ``@``,
+``.sum()``, ...) onto :class:`~repro.tensor.tensor.Tensor`.
+"""
+
+from repro.tensor.ops import basic  # noqa: F401 - binds Tensor operators
+from repro.tensor.ops.basic import (
+    add,
+    sub,
+    mul,
+    div,
+    neg,
+    pow_,
+    matmul,
+    sum_,
+    mean,
+    reshape,
+    transpose,
+    concatenate,
+    exp,
+    log,
+    sqrt,
+    abs_,
+    clip,
+)
+from repro.tensor.ops.activations import relu, leaky_relu, sigmoid, tanh, softmax
+from repro.tensor.ops.conv import conv2d, pad2d, pixel_shuffle
+from repro.tensor.ops.pooling import avg_pool2d, max_pool2d, global_avg_pool2d
+from repro.tensor.ops.loss import l1_loss, mse_loss, cross_entropy
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "pow_", "matmul", "sum_", "mean",
+    "reshape", "transpose", "concatenate", "exp", "log", "sqrt", "abs_", "clip",
+    "relu", "leaky_relu", "sigmoid", "tanh", "softmax",
+    "conv2d", "pad2d", "pixel_shuffle",
+    "avg_pool2d", "max_pool2d", "global_avg_pool2d",
+    "l1_loss", "mse_loss", "cross_entropy",
+]

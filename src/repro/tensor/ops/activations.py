@@ -1,0 +1,70 @@
+"""Activation functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, as_tensor, collect_parents, result_requires_grad
+
+
+def relu(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.maximum(a.data, 0)
+    if not result_requires_grad(a):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * (a.data > 0))
+
+    return Tensor(out_data, True, _parents=collect_parents(a), _backward=backward)
+
+
+def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.where(a.data > 0, a.data, negative_slope * a.data)
+    if not result_requires_grad(a):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * np.where(a.data > 0, 1.0, negative_slope).astype(np.float32))
+
+    return Tensor(out_data, True, _parents=collect_parents(a), _backward=backward)
+
+
+def sigmoid(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+    if not result_requires_grad(a):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * out_data * (1 - out_data))
+
+    return Tensor(out_data, True, _parents=collect_parents(a), _backward=backward)
+
+
+def tanh(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+    if not result_requires_grad(a):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * (1 - out_data * out_data))
+
+    return Tensor(out_data, True, _parents=collect_parents(a), _backward=backward)
+
+
+def softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+    if not result_requires_grad(a):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        a.accumulate_grad(out_data * (grad - dot))
+
+    return Tensor(out_data, True, _parents=collect_parents(a), _backward=backward)

@@ -1,0 +1,248 @@
+"""Elementwise, reduction, and shape ops with reverse-mode gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, TensorError
+from repro.tensor.tensor import (
+    Tensor,
+    as_tensor,
+    collect_parents,
+    result_requires_grad,
+)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (reverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    if grad.shape != shape:
+        raise ShapeError(f"cannot unbroadcast {grad.shape} to {shape}")
+    return grad
+
+
+def _binary(a, b, fwd, da, db) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = fwd(a.data, b.data)
+    if not result_requires_grad(a, b):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a.accumulate_grad(_unbroadcast(da(grad, a.data, b.data, out_data), a.shape))
+        if b.requires_grad:
+            b.accumulate_grad(_unbroadcast(db(grad, a.data, b.data, out_data), b.shape))
+
+    return Tensor(out_data, True, _parents=collect_parents(a, b), _backward=backward)
+
+
+def add(a, b) -> Tensor:
+    return _binary(a, b, np.add, lambda g, x, y, o: g, lambda g, x, y, o: g)
+
+
+def sub(a, b) -> Tensor:
+    return _binary(a, b, np.subtract, lambda g, x, y, o: g, lambda g, x, y, o: -g)
+
+
+def mul(a, b) -> Tensor:
+    return _binary(a, b, np.multiply, lambda g, x, y, o: g * y, lambda g, x, y, o: g * x)
+
+
+def div(a, b) -> Tensor:
+    return _binary(
+        a, b, np.divide,
+        lambda g, x, y, o: g / y,
+        lambda g, x, y, o: -g * x / (y * y),
+    )
+
+
+def pow_(a, exponent: float) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data**exponent
+    if not result_requires_grad(a):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * exponent * a.data ** (exponent - 1))
+
+    return Tensor(out_data, True, _parents=collect_parents(a), _backward=backward)
+
+
+def neg(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = -a.data
+    if not result_requires_grad(a):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(-grad)
+
+    return Tensor(out_data, True, _parents=collect_parents(a), _backward=backward)
+
+
+def matmul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    if a.ndim < 1 or b.ndim < 1:
+        raise ShapeError("matmul requires at least 1-D operands")
+    out_data = a.data @ b.data
+    if not result_requires_grad(a, b):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            if b.ndim == 1:
+                ga = np.outer(grad, b.data) if a.ndim == 2 else grad[..., None] * b.data
+            else:
+                ga = grad @ np.swapaxes(b.data, -1, -2)
+            a.accumulate_grad(_unbroadcast(ga, a.shape) if ga.shape != a.shape else ga)
+        if b.requires_grad:
+            if a.ndim == 1:
+                gb = np.outer(a.data, grad) if b.ndim == 2 else grad * a.data
+            else:
+                gb = np.swapaxes(a.data, -1, -2) @ grad
+            b.accumulate_grad(_unbroadcast(gb, b.shape) if gb.shape != b.shape else gb)
+
+    return Tensor(out_data, True, _parents=collect_parents(a, b), _backward=backward)
+
+
+def sum_(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+    if not result_requires_grad(a):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad
+        if axis is not None and not keepdims:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            axes = tuple(ax % a.ndim for ax in axes)
+            for ax in sorted(axes):
+                g = np.expand_dims(g, ax)
+        a.accumulate_grad(np.broadcast_to(g, a.shape).astype(np.float32))
+
+    return Tensor(out_data, True, _parents=collect_parents(a), _backward=backward)
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    if axis is None:
+        count = a.size
+    else:
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        count = int(np.prod([a.shape[ax % a.ndim] for ax in axes]))
+    return mul(sum_(a, axis=axis, keepdims=keepdims), 1.0 / count)
+
+
+def reshape(a, *shape: int) -> Tensor:
+    a = as_tensor(a)
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    out_data = a.data.reshape(shape)
+    if not result_requires_grad(a):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad.reshape(a.shape))
+
+    return Tensor(out_data, True, _parents=collect_parents(a), _backward=backward)
+
+
+def transpose(a, axes: tuple[int, ...] | None = None) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.transpose(a.data, axes)
+    if not result_requires_grad(a):
+        return Tensor(out_data)
+    inverse = None if axes is None else tuple(np.argsort(axes))
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(np.transpose(grad, inverse))
+
+    return Tensor(out_data, True, _parents=collect_parents(a), _backward=backward)
+
+
+def concatenate(tensors: list, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    if not tensors:
+        raise TensorError("concatenate of empty list")
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not result_requires_grad(*tensors):
+        return Tensor(out_data)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                t.accumulate_grad(grad[tuple(index)])
+
+    return Tensor(
+        out_data, True, _parents=collect_parents(*tensors), _backward=backward
+    )
+
+
+def _unary(a, fwd, dfn) -> Tensor:
+    a = as_tensor(a)
+    out_data = fwd(a.data)
+    if not result_requires_grad(a):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(dfn(grad, a.data, out_data))
+
+    return Tensor(out_data, True, _parents=collect_parents(a), _backward=backward)
+
+
+def exp(a) -> Tensor:
+    return _unary(a, np.exp, lambda g, x, o: g * o)
+
+
+def log(a) -> Tensor:
+    return _unary(a, np.log, lambda g, x, o: g / x)
+
+
+def sqrt(a) -> Tensor:
+    return _unary(a, np.sqrt, lambda g, x, o: g / (2 * o))
+
+
+def abs_(a) -> Tensor:
+    return _unary(a, np.abs, lambda g, x, o: g * np.sign(x))
+
+
+def clip(a, low: float, high: float) -> Tensor:
+    return _unary(
+        a,
+        lambda x: np.clip(x, low, high),
+        lambda g, x, o: g * ((x >= low) & (x <= high)),
+    )
+
+
+# -- bind operator protocol onto Tensor ------------------------------------------
+Tensor.__add__ = lambda self, other: add(self, other)
+Tensor.__radd__ = lambda self, other: add(other, self)
+Tensor.__sub__ = lambda self, other: sub(self, other)
+Tensor.__rsub__ = lambda self, other: sub(other, self)
+Tensor.__mul__ = lambda self, other: mul(self, other)
+Tensor.__rmul__ = lambda self, other: mul(other, self)
+Tensor.__truediv__ = lambda self, other: div(self, other)
+Tensor.__rtruediv__ = lambda self, other: div(other, self)
+Tensor.__neg__ = lambda self: neg(self)
+Tensor.__pow__ = lambda self, exponent: pow_(self, exponent)
+Tensor.__matmul__ = lambda self, other: matmul(self, other)
+Tensor.sum = lambda self, axis=None, keepdims=False: sum_(self, axis, keepdims)
+Tensor.mean = lambda self, axis=None, keepdims=False: mean(self, axis, keepdims)
+Tensor.reshape = lambda self, *shape: reshape(self, *shape)
+Tensor.transpose = lambda self, axes=None: transpose(self, axes)
+Tensor.exp = lambda self: exp(self)
+Tensor.log = lambda self: log(self)
+Tensor.sqrt = lambda self: sqrt(self)
+Tensor.abs = lambda self: abs_(self)
+Tensor.clip = lambda self, low, high: clip(self, low, high)

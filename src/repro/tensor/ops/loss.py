@@ -1,0 +1,60 @@
+"""Loss functions.
+
+EDSR trains with L1 (the paper's reference [5] found it outperforms L2 for
+SR); MSE is provided for SRCNN/SRResNet baselines and PSNR computation;
+cross-entropy for the ResNet-50 classification comparison model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.tensor import Tensor, as_tensor, collect_parents, result_requires_grad
+from repro.tensor.ops.basic import abs_, mean, sub
+
+
+def mse_loss(prediction, target) -> Tensor:
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    if prediction.shape != target.shape:
+        raise ShapeError(
+            f"mse_loss shape mismatch: {prediction.shape} vs {target.shape}"
+        )
+    diff = sub(prediction, target)
+    return mean(diff * diff)
+
+
+def l1_loss(prediction, target) -> Tensor:
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    if prediction.shape != target.shape:
+        raise ShapeError(
+            f"l1_loss shape mismatch: {prediction.shape} vs {target.shape}"
+        )
+    return mean(abs_(sub(prediction, target)))
+
+
+def cross_entropy(logits, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy with integer labels; logits (N, K)."""
+    logits = as_tensor(logits)
+    if logits.ndim != 2:
+        raise ShapeError(f"cross_entropy expects (N, K) logits, got {logits.shape}")
+    labels = np.asarray(labels)
+    n = logits.shape[0]
+    if labels.shape != (n,):
+        raise ShapeError(f"labels shape {labels.shape} != ({n},)")
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    loss_value = -log_probs[np.arange(n), labels].mean()
+    if not result_requires_grad(logits):
+        return Tensor(loss_value)
+
+    probs = np.exp(log_probs)
+
+    def backward(grad: np.ndarray) -> None:
+        g = probs.copy()
+        g[np.arange(n), labels] -= 1.0
+        logits.accumulate_grad(g * (grad / n))
+
+    return Tensor(
+        loss_value, True, _parents=collect_parents(logits), _backward=backward
+    )

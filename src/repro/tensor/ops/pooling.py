@@ -1,0 +1,81 @@
+"""Pooling ops (used by the ResNet-50 functional variant)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.tensor import Tensor, as_tensor, collect_parents, result_requires_grad
+
+
+def _check_pool_args(x, kernel: int, stride: int) -> None:
+    if x.ndim != 4:
+        raise ShapeError(f"pooling expects NCHW input, got {x.shape}")
+    if kernel < 1 or stride < 1:
+        raise ShapeError(f"kernel/stride must be >= 1, got {kernel}/{stride}")
+    if x.shape[2] < kernel or x.shape[3] < kernel:
+        raise ShapeError(f"input {x.shape} smaller than pool kernel {kernel}")
+
+
+def _windows(x: np.ndarray, kernel: int, stride: int):
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    shape = (n, c, out_h, out_w, kernel, kernel)
+    strides = (s0, s1, s2 * stride, s3 * stride, s2, s3)
+    return np.lib.stride_tricks.as_strided(x, shape, strides), out_h, out_w
+
+
+def avg_pool2d(x, kernel: int, stride: int | None = None) -> Tensor:
+    x = as_tensor(x)
+    stride = stride or kernel
+    _check_pool_args(x, kernel, stride)
+    win, out_h, out_w = _windows(x.data, kernel, stride)
+    out_data = win.mean(axis=(4, 5))
+    if not result_requires_grad(x):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        gx = np.zeros_like(x.data)
+        scale = 1.0 / (kernel * kernel)
+        for i in range(kernel):
+            for j in range(kernel):
+                gx[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride] += (
+                    grad * scale
+                )
+        x.accumulate_grad(gx)
+
+    return Tensor(out_data, True, _parents=collect_parents(x), _backward=backward)
+
+
+def max_pool2d(x, kernel: int, stride: int | None = None) -> Tensor:
+    x = as_tensor(x)
+    stride = stride or kernel
+    _check_pool_args(x, kernel, stride)
+    win, out_h, out_w = _windows(x.data, kernel, stride)
+    flat = win.reshape(*win.shape[:4], -1)
+    arg = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    if not result_requires_grad(x):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        gx = np.zeros_like(x.data)
+        ki, kj = np.unravel_index(arg, (kernel, kernel))
+        n, c = x.shape[:2]
+        n_idx, c_idx, oh_idx, ow_idx = np.indices((n, c, out_h, out_w))
+        rows = oh_idx * stride + ki
+        cols = ow_idx * stride + kj
+        np.add.at(gx, (n_idx, c_idx, rows, cols), grad)
+        x.accumulate_grad(gx)
+
+    return Tensor(out_data, True, _parents=collect_parents(x), _backward=backward)
+
+
+def global_avg_pool2d(x) -> Tensor:
+    """(N, C, H, W) -> (N, C) spatial mean."""
+    x = as_tensor(x)
+    if x.ndim != 4:
+        raise ShapeError(f"global_avg_pool2d expects NCHW input, got {x.shape}")
+    return x.mean(axis=(2, 3))

@@ -1,0 +1,7 @@
+"""Optimizers and LR schedulers."""
+
+from repro.tensor.optim.sgd import SGD
+from repro.tensor.optim.adam import Adam
+from repro.tensor.optim.lr_scheduler import StepLR, MultiStepLR
+
+__all__ = ["SGD", "Adam", "StepLR", "MultiStepLR"]

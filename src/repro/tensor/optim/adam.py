@@ -1,0 +1,58 @@
+"""Adam (the optimizer EDSR trains with: beta1=0.9, beta2=0.999, eps=1e-8)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tensor.nn.module import Parameter
+from repro.tensor.optim.base import Optimizer
+
+
+class Adam(Optimizer):
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-4,
+        *,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ConfigError(f"betas must be in [0,1), got {betas}")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t: dict[int, int] = {}
+
+    def _update(self, param: Parameter) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        key = id(param)
+        m = self._m.get(key)
+        if m is None:
+            m = np.zeros_like(param.data)
+            self._v[key] = np.zeros_like(param.data)
+            self._t[key] = 0
+        v = self._v[key]
+        self._t[key] += 1
+        t = self._t[key]
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        self._m[key], self._v[key] = m, v
+        m_hat = m / (1 - self.beta1**t)
+        v_hat = v / (1 - self.beta2**t)
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    @property
+    def state_bytes_per_param(self) -> int:
+        """Adam keeps two fp32 moments per parameter (memory model input)."""
+        return 8

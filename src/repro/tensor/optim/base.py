@@ -1,0 +1,36 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.tensor.nn.module import Parameter
+from repro.tensor.tensor import no_grad
+
+
+class Optimizer:
+    """Holds parameters and a learning rate; subclasses implement the update."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float):
+        self.params = list(params)
+        if not self.params:
+            raise ConfigError("optimizer constructed with no parameters")
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be > 0, got {lr}")
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        with no_grad():
+            self.step_count += 1
+            for p in self.params:
+                if p.grad is not None:
+                    self._update(p)
+
+    def _update(self, param: Parameter) -> None:
+        raise NotImplementedError

@@ -1,0 +1,48 @@
+"""Learning-rate schedules (EDSR halves LR every 2e5 steps)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.tensor.optim.base import Optimizer
+
+
+class StepLR:
+    """Multiply LR by ``gamma`` every ``step_size`` scheduler steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        if step_size < 1:
+            raise ConfigError(f"step_size must be >= 1, got {step_size}")
+        if not 0 < gamma <= 1:
+            raise ConfigError(f"gamma must be in (0,1], got {gamma}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        decays = self.epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma**decays)
+
+
+class MultiStepLR:
+    """Multiply LR by ``gamma`` at each listed milestone."""
+
+    def __init__(
+        self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.5
+    ):
+        if sorted(milestones) != list(milestones):
+            raise ConfigError("milestones must be sorted ascending")
+        self.optimizer = optimizer
+        self.milestones = list(milestones)
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        passed = sum(1 for m in self.milestones if self.epoch >= m)
+        self.optimizer.lr = self.base_lr * (self.gamma**passed)

@@ -1,0 +1,43 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tensor.nn.module import Parameter
+from repro.tensor.optim.base import Optimizer
+
+
+class SGD(Optimizer):
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float,
+        *,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        if not 0 <= momentum < 1:
+            raise ConfigError(f"momentum must be in [0,1), got {momentum}")
+        if weight_decay < 0:
+            raise ConfigError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def _update(self, param: Parameter) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            v = self._velocity.get(id(param))
+            if v is None:
+                v = np.zeros_like(param.data)
+            v = self.momentum * v + grad
+            self._velocity[id(param)] = v
+            grad = v
+        param.data -= self.lr * grad

@@ -1,0 +1,22 @@
+"""Training loops: single-process and distributed (functional mode).
+
+These drive the *real* numpy models end-to-end — loss curves, PSNR/SSIM
+validation, throughput metering — at tiny scales, complementing the
+performance-mode :mod:`repro.core.study` used for the paper-scale sweeps.
+"""
+
+from repro.trainer.throughput import ThroughputMeter
+from repro.trainer.train import TrainResult, evaluate_sr, train_sr
+from repro.trainer.distributed import DistributedTrainer, DistributedTrainResult
+from repro.trainer.checkpoint import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "ThroughputMeter",
+    "train_sr",
+    "evaluate_sr",
+    "TrainResult",
+    "DistributedTrainer",
+    "DistributedTrainResult",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,30 @@
+"""Model checkpointing (npz-based)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tensor.nn.module import Module
+
+
+def save_checkpoint(model: Module, path: str, *, step: int = 0) -> None:
+    """Write a model's parameters (plus the step counter) to ``path``."""
+    state = model.state_dict()
+    state["__step__"] = np.asarray(step)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_checkpoint(model: Module, path: str) -> int:
+    """Load parameters into ``model``; returns the stored step counter."""
+    if not os.path.exists(path):
+        raise ConfigError(f"checkpoint {path!r} does not exist")
+    with np.load(path) as data:
+        state = {k: data[k] for k in data.files if k != "__step__"}
+        step = int(data["__step__"]) if "__step__" in data.files else 0
+    model.load_state_dict(state)
+    return step

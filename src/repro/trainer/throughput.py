@@ -1,0 +1,66 @@
+"""images/second metering (the benchmarking support §VI adds to EDSR)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ConfigError
+
+
+class ThroughputMeter:
+    """Accumulates (images, seconds) pairs and reports rates.
+
+    Works with either wall-clock measurements (functional training) or
+    simulated durations (performance studies) — callers provide the time.
+    """
+
+    def __init__(self, *, skip_first: int = 1):
+        if skip_first < 0:
+            raise ConfigError("skip_first must be >= 0")
+        self.skip_first = skip_first
+        self._steps: list[tuple[int, float]] = []
+        self._wall_started: float | None = None
+
+    # -- explicit durations ---------------------------------------------------
+    def record(self, images: int, seconds: float) -> None:
+        if images < 0 or seconds < 0:
+            raise ConfigError("images and seconds must be >= 0")
+        self._steps.append((images, seconds))
+
+    # -- wall-clock convenience --------------------------------------------------
+    def start(self) -> None:
+        self._wall_started = time.perf_counter()
+
+    def stop(self, images: int) -> float:
+        if self._wall_started is None:
+            raise ConfigError("stop() without start()")
+        elapsed = time.perf_counter() - self._wall_started
+        self._wall_started = None
+        self.record(images, elapsed)
+        return elapsed
+
+    # -- reporting ------------------------------------------------------------------
+    @property
+    def step_count(self) -> int:
+        return len(self._steps)
+
+    def _measured(self) -> list[tuple[int, float]]:
+        return self._steps[self.skip_first :]
+
+    def images_per_second(self) -> float:
+        measured = self._measured()
+        if not measured:
+            return 0.0
+        images = sum(i for i, _ in measured)
+        seconds = sum(s for _, s in measured)
+        return images / seconds if seconds > 0 else 0.0
+
+    def mean_step_time(self) -> float:
+        measured = self._measured()
+        if not measured:
+            return 0.0
+        return sum(s for _, s in measured) / len(measured)
+
+    def reset(self) -> None:
+        self._steps.clear()
+        self._wall_started = None

@@ -1,0 +1,89 @@
+"""Single-process SR training and evaluation (functional mode)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.loader import PatchLoader
+from repro.data.dataset import SRDataset
+from repro.errors import ConfigError
+from repro.metrics import psnr, ssim
+from repro.tensor import Tensor, functional as F, no_grad
+from repro.tensor.nn.module import Module
+from repro.tensor.optim.base import Optimizer
+from repro.trainer.throughput import ThroughputMeter
+
+
+@dataclass
+class TrainResult:
+    losses: list[float] = field(default_factory=list)
+    images_per_second: float = 0.0
+    steps: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def train_sr(
+    model: Module,
+    loader: PatchLoader,
+    optimizer: Optimizer,
+    *,
+    steps: int,
+    loss: str = "l1",
+    scheduler=None,
+) -> TrainResult:
+    """Train an SR model for ``steps`` iterations (EDSR uses L1 loss)."""
+    if steps < 1:
+        raise ConfigError("steps must be >= 1")
+    loss_fn = {"l1": F.l1_loss, "mse": F.mse_loss}.get(loss)
+    if loss_fn is None:
+        raise ConfigError(f"unknown loss {loss!r}; use 'l1' or 'mse'")
+    meter = ThroughputMeter(skip_first=min(1, steps - 1))
+    result = TrainResult()
+    model.train()
+    for lr_batch, hr_batch in loader.batches(steps):
+        meter.start()
+        model.zero_grad()
+        prediction = model(Tensor(lr_batch))
+        step_loss = loss_fn(prediction, Tensor(hr_batch))
+        step_loss.backward()
+        optimizer.step()
+        if scheduler is not None:
+            scheduler.step()
+        meter.stop(images=lr_batch.shape[0])
+        result.losses.append(step_loss.item())
+        result.steps += 1
+    result.images_per_second = meter.images_per_second()
+    return result
+
+
+def evaluate_sr(
+    model: Module,
+    dataset: SRDataset,
+    *,
+    max_images: int = 8,
+    data_range: float = 1.0,
+) -> dict[str, float]:
+    """Mean PSNR/SSIM of the model over (a prefix of) a dataset split."""
+    if max_images < 1:
+        raise ConfigError("max_images must be >= 1")
+    model.eval()
+    psnrs, ssims = [], []
+    count = min(max_images, len(dataset))
+    with no_grad():
+        for i in range(count):
+            lr, hr = dataset[i]
+            out = model(Tensor(lr[None].astype(np.float32))).numpy()[0]
+            out = np.clip(out, 0.0, data_range)
+            psnrs.append(psnr(out, hr, data_range=data_range))
+            ssims.append(ssim(out, hr, data_range=data_range))
+    model.train()
+    return {
+        "psnr": float(np.mean(psnrs)),
+        "ssim": float(np.mean(ssims)),
+        "images": count,
+    }

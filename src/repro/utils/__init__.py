@@ -1,0 +1,42 @@
+"""Shared utilities: units, seeding, tables, validation."""
+
+from repro.utils.units import (
+    KIB,
+    MIB,
+    GIB,
+    KB,
+    MB,
+    GB,
+    format_bytes,
+    format_rate,
+    format_time,
+    parse_bytes,
+)
+from repro.utils.seeding import SeedSequenceFactory, derive_seed
+from repro.utils.tables import TextTable
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_power_of_two,
+    check_in,
+)
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "format_bytes",
+    "format_rate",
+    "format_time",
+    "parse_bytes",
+    "SeedSequenceFactory",
+    "derive_seed",
+    "TextTable",
+    "check_positive",
+    "check_non_negative",
+    "check_power_of_two",
+    "check_in",
+]

@@ -1,0 +1,90 @@
+"""Byte/time/rate unit helpers.
+
+Networking literature mixes decimal (MB) and binary (MiB) units; the paper's
+message-size bins ("16 MB - 32 MB") follow MPI convention and are binary.
+We expose both and keep all internal accounting in plain bytes (int) and
+seconds (float).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+KB = 1000
+MB = 1000**2
+GB = 1000**3
+
+_SUFFIXES = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "kib": KIB,
+    "mib": MIB,
+    "gib": GIB,
+    "k": KIB,
+    "m": MIB,
+    "g": GIB,
+}
+
+
+def parse_bytes(text: str | int | float) -> int:
+    """Parse a human byte count like ``"64MiB"`` or ``"128 KB"`` into bytes.
+
+    Bare ``K``/``M``/``G`` suffixes are binary, matching MPI tuning-variable
+    convention (e.g. ``MV2_IBA_EAGER_THRESHOLD=128K``).
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ConfigError(f"byte count must be non-negative, got {text}")
+        return int(text)
+    s = text.strip().lower().replace(" ", "")
+    idx = len(s)
+    while idx > 0 and not s[idx - 1].isdigit():
+        idx -= 1
+    if idx == 0:
+        raise ConfigError(f"cannot parse byte count {text!r}")
+    number, suffix = s[:idx], s[idx:]
+    if suffix and suffix not in _SUFFIXES:
+        raise ConfigError(f"unknown byte suffix {suffix!r} in {text!r}")
+    return int(float(number) * _SUFFIXES.get(suffix, 1))
+
+
+def format_bytes(nbytes: float, *, binary: bool = True) -> str:
+    """Render a byte count with an adaptive unit (binary by default)."""
+    if nbytes < 0:
+        return "-" + format_bytes(-nbytes, binary=binary)
+    base = 1024.0 if binary else 1000.0
+    units = ["B", "KiB", "MiB", "GiB", "TiB"] if binary else ["B", "KB", "MB", "GB", "TB"]
+    value = float(nbytes)
+    for unit in units:
+        if value < base or unit == units[-1]:
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.2f} {unit}"
+        value /= base
+    raise AssertionError("unreachable")
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with an adaptive unit (ns..s)."""
+    if seconds < 0:
+        return "-" + format_time(-seconds)
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a bandwidth in decimal GB/s (networking convention)."""
+    return f"{bytes_per_second / GB:.2f} GB/s"

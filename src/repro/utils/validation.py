@@ -1,0 +1,33 @@
+"""Tiny argument-validation helpers used across configuration objects."""
+
+from __future__ import annotations
+
+from typing import Container, TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+
+
+def check_positive(name: str, value: float) -> float:
+    if not value > 0:
+        raise ConfigError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ConfigError(f"{name} must be a power of two, got {value!r}")
+    return value
+
+
+def check_in(name: str, value: T, allowed: Container[T]) -> T:
+    if value not in allowed:
+        raise ConfigError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value

@@ -1,0 +1,110 @@
+"""Tests for gather/scatter/alltoall and the timeline chrome-trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiError
+from repro.hardware import LASSEN, Cluster
+from repro.horovod import Timeline
+from repro.mpi import Mv2Config, MpiWorld, WorldSpec
+from repro.mpi.comm import GpuBuffer
+from repro.mpi.process import SingletonDevicePolicy
+from repro.sim import Environment
+from repro.utils.units import KIB, MIB
+
+
+def make_comm(num_gpus=4):
+    nodes = max(1, (num_gpus + 3) // 4)
+    cluster = Cluster(Environment(), LASSEN, num_nodes=nodes)
+    spec = WorldSpec(
+        num_ranks=num_gpus,
+        policy=SingletonDevicePolicy(),
+        config=Mv2Config(mv2_visible_devices="all", registration_cache=True),
+    )
+    return MpiWorld(cluster, spec).communicator()
+
+
+class TestGatherScatter:
+    def test_gather_collects_everything(self):
+        comm = make_comm(4)
+        arrays = [np.full(8, float(r), dtype=np.float32) for r in range(4)]
+        gathered, timing = comm.gather([GpuBuffer.from_array(a) for a in arrays])
+        assert timing.time > 0
+        assert len(gathered) == 4
+        np.testing.assert_array_equal(gathered[3], 3.0)
+
+    def test_scatter_distributes_blocks(self):
+        comm = make_comm(4)
+        arrays = [np.zeros(8, dtype=np.float32) for _ in range(4)]
+        blocks = [np.full(8, float(r * 10), dtype=np.float32) for r in range(4)]
+        timing = comm.scatter(blocks, [GpuBuffer.from_array(a) for a in arrays])
+        assert timing.time > 0
+        for r, a in enumerate(arrays):
+            np.testing.assert_array_equal(a, float(r * 10))
+
+    def test_scatter_block_count_validated(self):
+        comm = make_comm(4)
+        arrays = [np.zeros(4, dtype=np.float32) for _ in range(4)]
+        with pytest.raises(MpiError):
+            comm.scatter(
+                [np.zeros(4, dtype=np.float32)],
+                [GpuBuffer.from_array(a) for a in arrays],
+            )
+
+    def test_gather_single_rank_free(self):
+        comm = make_comm(1)
+        _, timing = comm.gather([GpuBuffer.virtual(1 * MIB)])
+        assert timing.time == 0.0
+
+    def test_alltoall_scales_with_world(self):
+        small = make_comm(4).alltoall(64 * KIB)
+        large = make_comm(8).alltoall(64 * KIB)
+        assert 0 < small.time < large.time
+
+    def test_multi_node_gather_never_faster_than_intra(self):
+        # at 32 MiB the inter-node IB wire dominates the staged intra path
+        intra = make_comm(4)
+        inter = make_comm(8)
+        _, t_intra = intra.gather([GpuBuffer.virtual(32 * MIB) for _ in range(4)])
+        _, t_inter = inter.gather([GpuBuffer.virtual(32 * MIB) for _ in range(8)])
+        assert t_inter.time >= t_intra.time
+        assert t_intra.time > 0
+
+
+class TestChromeTrace:
+    def test_export_structure(self):
+        timeline = Timeline()
+        timeline.record("allreduce", start=0.010, duration=0.005,
+                        nbytes=32 * MIB, detail="slot0")
+        timeline.record("bcast", start=0.020, duration=0.001)
+        trace = timeline.to_chrome_trace()
+        assert len(trace) == 2
+        event = trace[0]
+        assert event["ph"] == "X"
+        assert event["name"] == "allreduce"
+        assert event["ts"] == pytest.approx(10_000)  # us
+        assert event["dur"] == pytest.approx(5_000)
+        assert event["args"]["nbytes"] == 32 * MIB
+
+    def test_save_and_reload(self, tmp_path):
+        timeline = Timeline()
+        timeline.record("allreduce", start=0.0, duration=0.001, nbytes=100)
+        path = str(tmp_path / "trace.json")
+        timeline.save_chrome_trace(path)
+        with open(path) as fh:
+            loaded = json.load(fh)
+        assert loaded[0]["name"] == "allreduce"
+
+    def test_trace_from_real_engine_run(self, tmp_path):
+        from repro.horovod import HorovodConfig, HorovodEngine, PendingTensor
+
+        comm = make_comm(4)
+        timeline = Timeline()
+        engine = HorovodEngine(comm, HorovodConfig(cycle_time_s=1e-3),
+                               timeline=timeline)
+        engine.run_step([PendingTensor("g", 8 * MIB)])
+        trace = timeline.to_chrome_trace()
+        assert trace
+        assert all(e["dur"] > 0 for e in trace)

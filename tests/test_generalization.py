@@ -1,0 +1,82 @@
+"""Model-agnosticism tests: the MPI-Opt methodology transfers to a second,
+architecturally different workload (DeepLabv3-class segmentation, as in the
+paper's reference [7])."""
+
+import pytest
+
+from repro.core import MPI_DEFAULT, MPI_OPT, ScalingStudy, StudyConfig
+from repro.hardware import V100_16GB
+from repro.models import get_model_cost
+from repro.models.costing import ThroughputModel, TrainingMemoryModel
+from repro.models.segmentation import DEEPLAB_V3, SegmentationConfig, segmentation_cost
+from repro.errors import ConfigError
+from repro.utils.units import GIB, MIB
+
+
+class TestSegmentationCost:
+    def test_registered(self):
+        cost = get_model_cost("deeplabv3-rn50")
+        assert cost.name == "deeplabv3-rn50"
+
+    def test_magnitudes(self):
+        cost = segmentation_cost()
+        # DeepLabv3-RN50 @513: tens of millions of params, hundreds of
+        # GFLOPs per crop (dense prediction)
+        assert 30e6 < cost.total_params < 60e6
+        assert 80e9 < cost.flops_forward < 900e9
+        # gradient volume in the same regime as EDSR -> same fusion story
+        assert 100 * MIB < cost.gradient_bytes < 250 * MIB
+
+    def test_dense_prediction_much_costlier_than_classifier(self):
+        seg = segmentation_cost()
+        classifier = get_model_cost("resnet-50")
+        assert seg.flops_forward > 10 * classifier.flops_forward
+
+    def test_memory_model_feasible_on_v100(self):
+        mm = TrainingMemoryModel(segmentation_cost())
+        assert mm.bytes_required(2) < V100_16GB.memory_bytes
+        assert mm.max_batch(V100_16GB.memory_bytes) >= 2
+
+    def test_gradient_schedule_consistent(self):
+        cost = segmentation_cost()
+        sched = cost.gradient_schedule()
+        assert sum(t.nbytes for t in sched) == cost.gradient_bytes
+        fractions = [t.ready_fraction for t in sched]
+        assert fractions == sorted(fractions)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigError):
+            SegmentationConfig(crop=32)
+        with pytest.raises(ConfigError):
+            SegmentationConfig(num_classes=1)
+
+
+class TestMethodologyTransfers:
+    """The paper's §VIII claim: the insights generalize to other
+    compute/communication-intensive DNNs."""
+
+    def test_mpi_opt_beats_default_on_segmentation(self):
+        config = StudyConfig(
+            model="deeplabv3-rn50", batch_per_gpu=2,
+            measure_steps=1, warmup_steps=1,
+        )
+        default = ScalingStudy(MPI_DEFAULT, config).run_point(16)
+        opt = ScalingStudy(MPI_OPT, config).run_point(16)
+        assert opt.images_per_second > 1.05 * default.images_per_second
+        assert default.blocking_time > opt.blocking_time
+
+    def test_segmentation_fused_messages_also_large(self):
+        """Same fusion regime: the gradient stream produces >=16 MB
+        messages, so the same IPC fix applies."""
+        config = StudyConfig(
+            model="deeplabv3-rn50", batch_per_gpu=2,
+            measure_steps=1, warmup_steps=0,
+        )
+        point = ScalingStudy(MPI_OPT, config).run_point(4)
+        assert max(point.message_sizes) >= 16 * MIB
+
+    def test_throughput_model_sane(self):
+        tm = ThroughputModel(segmentation_cost(), V100_16GB)
+        rate = tm.images_per_second(2)
+        # dense 513x513 crops: single-digit to low-double-digit img/s on V100
+        assert 1.0 < rate < 40.0

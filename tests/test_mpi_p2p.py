@@ -1,0 +1,242 @@
+"""Tests for the point-to-point layer: matching, protocols, errors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, MpiError, MpiTruncateError
+from repro.hardware import LASSEN, Cluster
+from repro.mpi import Mv2Config, WorldSpec, build_world
+from repro.mpi.p2p import ANY_SOURCE, ANY_TAG, P2PFabric, RecvStatus
+from repro.mpi.process import SingletonDevicePolicy
+from repro.mpi.transports import TransportModel
+from repro.sim import Environment
+from repro.utils.units import KIB, MIB
+
+
+def make_fabric(num_nodes=1, eager_threshold=16 * KIB):
+    env = Environment()
+    cluster = Cluster(env, LASSEN, num_nodes=num_nodes)
+    config = Mv2Config(
+        mv2_visible_devices="all",
+        registration_cache=True,
+        eager_threshold=eager_threshold,
+    )
+    spec = WorldSpec(num_ranks=cluster.num_gpus, policy=SingletonDevicePolicy(),
+                     config=config)
+    ranks = build_world(cluster, spec)
+    transport = TransportModel(cluster, config, ranks)
+    return env, P2PFabric(transport)
+
+
+class TestBasicMessaging:
+    def test_send_recv_delivers_data(self):
+        env, fabric = make_fabric()
+        payload = np.arange(64, dtype=np.float32)
+        out = np.zeros(64, dtype=np.float32)
+
+        fabric.isend(0, 1, tag=5, data=payload)
+        done = fabric.irecv(1, source=0, tag=5, out=out)
+        env.run()
+        assert done.value == RecvStatus(source=0, tag=5, nbytes=256)
+        np.testing.assert_array_equal(out, payload)
+
+    def test_recv_posted_before_send(self):
+        env, fabric = make_fabric()
+        out = np.zeros(8, dtype=np.float32)
+        done = fabric.irecv(1, source=0, tag=1, out=out)
+        fabric.isend(0, 1, tag=1, data=np.full(8, 3.0, dtype=np.float32))
+        env.run()
+        assert done.triggered
+        np.testing.assert_array_equal(out, 3.0)
+
+    def test_send_buffer_copied_at_send_time(self):
+        """Mutating the user buffer after isend must not corrupt delivery."""
+        env, fabric = make_fabric()
+        payload = np.ones(8, dtype=np.float32)
+        out = np.zeros(8, dtype=np.float32)
+        fabric.isend(0, 1, data=payload)
+        payload[:] = 99.0  # user scribbles after send
+        fabric.irecv(1, source=0, out=out)
+        env.run()
+        np.testing.assert_array_equal(out, 1.0)
+
+    def test_virtual_sizes_without_data(self):
+        env, fabric = make_fabric()
+        fabric.isend(0, 1, nbytes=1 * MIB)
+        done = fabric.irecv(1, source=0, nbytes=1 * MIB)
+        env.run()
+        assert done.value.nbytes == 1 * MIB
+        assert env.now > 0
+
+
+class TestMatching:
+    def test_tag_matching_is_selective(self):
+        env, fabric = make_fabric()
+        out_a = np.zeros(4, dtype=np.float32)
+        out_b = np.zeros(4, dtype=np.float32)
+        fabric.isend(0, 1, tag=7, data=np.full(4, 7.0, dtype=np.float32))
+        fabric.isend(0, 1, tag=8, data=np.full(4, 8.0, dtype=np.float32))
+        fabric.irecv(1, source=0, tag=8, out=out_b)
+        fabric.irecv(1, source=0, tag=7, out=out_a)
+        env.run()
+        np.testing.assert_array_equal(out_a, 7.0)
+        np.testing.assert_array_equal(out_b, 8.0)
+
+    def test_fifo_order_within_same_tag(self):
+        env, fabric = make_fabric()
+        first = np.zeros(4, dtype=np.float32)
+        second = np.zeros(4, dtype=np.float32)
+        fabric.isend(0, 1, tag=1, data=np.full(4, 1.0, dtype=np.float32))
+        fabric.isend(0, 1, tag=1, data=np.full(4, 2.0, dtype=np.float32))
+        fabric.irecv(1, source=0, tag=1, out=first)
+        fabric.irecv(1, source=0, tag=1, out=second)
+        env.run()
+        np.testing.assert_array_equal(first, 1.0)
+        np.testing.assert_array_equal(second, 2.0)
+
+    def test_any_source_any_tag_wildcards(self):
+        env, fabric = make_fabric()
+        out = np.zeros(4, dtype=np.float32)
+        done = fabric.irecv(3, source=ANY_SOURCE, tag=ANY_TAG, out=out)
+        fabric.isend(2, 3, tag=42, data=np.full(4, 5.0, dtype=np.float32))
+        env.run()
+        assert done.value.source == 2
+        assert done.value.tag == 42
+        np.testing.assert_array_equal(out, 5.0)
+
+    def test_unmatched_recv_is_deadlock(self):
+        env, fabric = make_fabric()
+
+        def waiter(env):
+            status = yield fabric.irecv(1, source=0, nbytes=64)
+            return status
+
+        env.process(waiter(env))
+        with pytest.raises(DeadlockError):
+            env.run()
+
+
+class TestProtocols:
+    def test_eager_send_completes_without_receiver(self):
+        """Eager sends buffer and complete locally; message waits."""
+        env, fabric = make_fabric()
+        done = fabric.isend(0, 1, data=np.ones(16, dtype=np.float32))  # 64B eager
+        env.run(until=done)
+        assert done.triggered
+        assert fabric.pending_counts() == (1, 0)  # unexpected message queued
+
+    def test_rendezvous_send_blocks_until_recv_posts(self):
+        env, fabric = make_fabric(eager_threshold=1 * KIB)
+        nbytes = 1 * MIB  # rendezvous
+        send_done = fabric.isend(0, 1, nbytes=nbytes)
+
+        times = {}
+
+        def poster(env):
+            yield env.timeout(0.5)  # receiver arrives late
+            done = fabric.irecv(1, source=0, nbytes=nbytes)
+            yield done
+            times["recv_done"] = env.now
+
+        env.process(poster(env))
+        env.run()
+        assert send_done.triggered
+        # wire time could not start before the CTS at t=0.5
+        assert times["recv_done"] > 0.5
+
+    def test_eager_payload_travels_before_recv(self):
+        """Eager wire time elapses even when the recv posts very late."""
+        env, fabric = make_fabric()
+        fabric.isend(0, 1, data=np.ones(16, dtype=np.float32))
+
+        def poster(env):
+            yield env.timeout(1.0)
+            status = yield fabric.irecv(1, source=0, nbytes=64)
+            return env.now
+
+        p = env.process(poster(env))
+        env.run()
+        # delivery is immediate at match time: the payload already arrived
+        assert p.value == pytest.approx(1.0, abs=1e-3)
+
+    def test_rendezvous_deadlock_two_blocking_sends(self):
+        """Classic MPI deadlock: both ranks send (rendezvous) then recv."""
+        env, fabric = make_fabric(eager_threshold=1 * KIB)
+        nbytes = 1 * MIB
+
+        def rank_proc(me, peer):
+            yield from fabric.send(me, peer, nbytes=nbytes)
+            yield from fabric.recv(me, source=peer, nbytes=nbytes)
+
+        env.process(rank_proc(0, 1))
+        env.process(rank_proc(1, 0))
+        with pytest.raises(DeadlockError):
+            env.run()
+
+    def test_sendrecv_breaks_the_deadlock(self):
+        """The same exchange via sendrecv completes (ring-step primitive)."""
+        env, fabric = make_fabric(eager_threshold=1 * KIB)
+        nbytes = 1 * MIB
+
+        def rank_proc(me, peer):
+            status = yield from fabric.sendrecv(
+                me, dst=peer, src=peer,
+                send_kwargs={"nbytes": nbytes},
+                recv_kwargs={"nbytes": nbytes},
+            )
+            return status
+
+        p0 = env.process(rank_proc(0, 1))
+        p1 = env.process(rank_proc(1, 0))
+        env.run()
+        assert p0.value.nbytes == nbytes
+        assert p1.value.nbytes == nbytes
+
+
+class TestErrors:
+    def test_truncation_raises(self):
+        env, fabric = make_fabric()
+        fabric.isend(0, 1, data=np.ones(64, dtype=np.float32))  # 256B
+        fabric.irecv(1, source=0, nbytes=64)  # too small
+        with pytest.raises(MpiTruncateError):
+            env.run()
+
+    def test_bad_rank_rejected(self):
+        _, fabric = make_fabric()
+        with pytest.raises(Exception):
+            fabric.isend(0, 99, nbytes=8)
+
+    def test_send_needs_size_or_data(self):
+        _, fabric = make_fabric()
+        with pytest.raises(MpiError):
+            fabric.isend(0, 1)
+
+    def test_self_send_rejected(self):
+        _, fabric = make_fabric()
+        with pytest.raises(MpiError):
+            fabric.isend(1, 1, nbytes=8)
+
+
+class TestTimingConsistency:
+    def test_rendezvous_inter_node_takes_wire_time(self):
+        env, fabric = make_fabric(num_nodes=2, eager_threshold=1 * KIB)
+        nbytes = 32 * MIB
+        fabric.isend(0, 4, nbytes=nbytes)
+        done = fabric.irecv(4, source=0, nbytes=nbytes)
+        env.run()
+        wire_floor = nbytes / LASSEN.ib.bandwidth
+        assert env.now >= wire_floor
+
+    def test_many_messages_all_delivered(self):
+        env, fabric = make_fabric()
+        outs = []
+        for i in range(10):
+            fabric.isend(0, 1, tag=i, data=np.full(4, float(i), dtype=np.float32))
+        for i in range(10):
+            out = np.zeros(4, dtype=np.float32)
+            outs.append(out)
+            fabric.irecv(1, source=0, tag=i, out=out)
+        env.run()
+        for i, out in enumerate(outs):
+            np.testing.assert_array_equal(out, float(i))
+        assert fabric.messages_delivered == 10

@@ -1,0 +1,224 @@
+"""Tests for nn.Module mechanics, layers, optimizers, and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError, TensorError
+from repro.tensor import Tensor, functional as F
+from repro.tensor.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Identity,
+    LeakyReLU,
+    Linear,
+    Module,
+    Parameter,
+    PixelShuffle,
+    ReLU,
+    Sequential,
+    init,
+)
+from repro.tensor.optim import SGD, Adam, MultiStepLR, StepLR
+
+RNG = np.random.default_rng(21)
+
+
+class TestModuleMechanics:
+    def test_parameter_registration_and_order(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Parameter(np.zeros(2))
+                self.inner = Linear(2, 3)
+                self.b = Parameter(np.zeros(1))
+
+        net = Net()
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["a", "b", "inner.weight", "inner.bias"]
+        assert net.num_parameters() == 2 + 1 + 6 + 3
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Conv2d(1, 2, 3), BatchNorm2d(2))
+        net.eval()
+        assert not net.training
+        assert not net[1].training
+        net.train()
+        assert net[1].training
+
+    def test_state_dict_roundtrip_and_errors(self):
+        a = Linear(3, 2, rng=np.random.default_rng(1))
+        b = Linear(3, 2, rng=np.random.default_rng(2))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+        with pytest.raises(TensorError):
+            b.load_state_dict({"weight": np.zeros((2, 3))})  # missing bias
+        bad = a.state_dict()
+        bad["weight"] = np.zeros((5, 5))
+        with pytest.raises(TensorError):
+            b.load_state_dict(bad)
+
+    def test_zero_grad_clears_all(self):
+        net = Linear(2, 2)
+        (net(Tensor(np.ones((1, 2), dtype=np.float32)))).sum().backward()
+        assert net.weight.grad is not None
+        net.zero_grad()
+        assert net.weight.grad is None
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLayers:
+    def test_linear_shapes_and_math(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        x = RNG.standard_normal((5, 4)).astype(np.float32)
+        out = layer(Tensor(x))
+        assert out.shape == (5, 3)
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(out.numpy(), expected, rtol=1e-5)
+
+    def test_conv_default_same_padding(self):
+        conv = Conv2d(3, 8, 3)
+        assert conv.padding == 1
+        out = conv(Tensor(RNG.standard_normal((1, 3, 6, 6)).astype(np.float32)))
+        assert out.shape == (1, 8, 6, 6)
+
+    def test_relu_leaky_identity_flatten(self):
+        x = Tensor(np.array([[-1.0, 2.0]], dtype=np.float32))
+        np.testing.assert_allclose(ReLU()(x).numpy(), [[0, 2]])
+        np.testing.assert_allclose(
+            LeakyReLU(0.1)(x).numpy(), [[-0.1, 2]], rtol=1e-6
+        )
+        assert Identity()(x) is x
+        assert Flatten()(Tensor(np.ones((2, 3, 4, 5)))).shape == (2, 60)
+
+    def test_pixel_shuffle_layer(self):
+        layer = PixelShuffle(2)
+        out = layer(Tensor(np.ones((1, 8, 3, 3), dtype=np.float32)))
+        assert out.shape == (1, 2, 6, 6)
+        with pytest.raises(ConfigError):
+            PixelShuffle(0)
+
+    def test_batchnorm_normalizes_and_tracks_running_stats(self):
+        bn = BatchNorm2d(3)
+        x = RNG.standard_normal((8, 3, 4, 4)).astype(np.float32) * 5 + 2
+        out = bn(Tensor(x)).numpy()
+        assert abs(out.mean()) < 0.1
+        assert abs(out.std() - 1.0) < 0.15
+        assert not np.allclose(bn.running_mean, 0.0)
+        # eval mode uses the running stats
+        bn.eval()
+        out_eval = bn(Tensor(x)).numpy()
+        assert out_eval.shape == x.shape
+
+    def test_batchnorm_shape_check(self):
+        with pytest.raises(ShapeError):
+            BatchNorm2d(3)(Tensor(np.ones((1, 4, 2, 2), dtype=np.float32)))
+
+    def test_sequential_indexing(self):
+        seq = Sequential(ReLU(), Identity())
+        assert len(seq) == 2
+        assert isinstance(seq[0], ReLU)
+
+    def test_init_fans(self):
+        w = init.kaiming_normal((16, 8, 3, 3), np.random.default_rng(0))
+        assert w.std() == pytest.approx(np.sqrt(2.0 / (8 * 9)), rel=0.25)
+        u = init.xavier_uniform((10, 20), np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 30)
+        assert u.min() >= -bound and u.max() <= bound
+        with pytest.raises(ConfigError):
+            init.kaiming_normal((3,), np.random.default_rng(0))
+
+
+class TestOptimizers:
+    def _param(self, value=1.0):
+        return Parameter(np.full(3, value, dtype=np.float32))
+
+    def test_sgd_vanilla_step(self):
+        p = self._param()
+        opt = SGD([p], lr=0.1)
+        p.grad = np.full(3, 2.0, dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, 1.0 - 0.2, rtol=1e-6)
+
+    def test_sgd_momentum_accumulates(self):
+        p = self._param(0.0)
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        for _ in range(2):
+            p.grad = np.ones(3, dtype=np.float32)
+            opt.step()
+        # v1 = 1, v2 = 1.5 -> total update 2.5
+        np.testing.assert_allclose(p.data, -2.5, rtol=1e-6)
+
+    def test_sgd_weight_decay(self):
+        p = self._param(1.0)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(3, dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, 1.0 - 0.1 * 0.5, rtol=1e-6)
+
+    def test_adam_first_step_is_lr_sized(self):
+        p = self._param(0.0)
+        opt = Adam([p], lr=0.01)
+        p.grad = np.full(3, 7.0, dtype=np.float32)
+        opt.step()
+        # bias-corrected first step ~= lr * sign(grad)
+        np.testing.assert_allclose(p.data, -0.01, rtol=1e-3)
+
+    def test_adam_state_is_per_parameter(self):
+        p1, p2 = self._param(), self._param()
+        opt = Adam([p1, p2], lr=0.01)
+        p1.grad = np.ones(3, dtype=np.float32)
+        p2.grad = None  # untouched parameter is skipped
+        opt.step()
+        np.testing.assert_allclose(p2.data, 1.0)
+        assert p1.data[0] < 1.0
+
+    def test_optimizer_validation(self):
+        with pytest.raises(ConfigError):
+            SGD([], lr=0.1)
+        with pytest.raises(ConfigError):
+            SGD([self._param()], lr=0)
+        with pytest.raises(ConfigError):
+            SGD([self._param()], lr=0.1, momentum=1.0)
+        with pytest.raises(ConfigError):
+            Adam([self._param()], lr=0.1, betas=(1.0, 0.9))
+
+    def test_zero_grad(self):
+        p = self._param()
+        p.grad = np.ones(3, dtype=np.float32)
+        SGD([p], lr=0.1).zero_grad()
+        assert p.grad is None
+
+
+class TestSchedulers:
+    def test_step_lr_halves_on_schedule(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == [1.0, 0.5, 0.5, 0.25, 0.25]
+
+    def test_multistep_lr_milestones(self):
+        """EDSR's schedule: halve at fixed milestones."""
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1e-4)
+        sched = MultiStepLR(opt, milestones=[2, 4], gamma=0.5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        np.testing.assert_allclose(lrs, [1e-4, 5e-5, 5e-5, 2.5e-5, 2.5e-5])
+
+    def test_scheduler_validation(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        with pytest.raises(ConfigError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ConfigError):
+            MultiStepLR(opt, milestones=[4, 2])

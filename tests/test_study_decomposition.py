@@ -1,0 +1,77 @@
+"""Accounting consistency of the scaling study, plus degraded-fabric runs."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import MPI_DEFAULT, MPI_OPT, ScalingStudy, StudyConfig
+from repro.hardware.specs import LASSEN, LinkSpec
+from repro.utils.units import GB
+
+FAST = StudyConfig(measure_steps=1, warmup_steps=1)
+
+
+class TestStepDecomposition:
+    @pytest.mark.parametrize("scenario", [MPI_DEFAULT, MPI_OPT])
+    def test_step_time_equals_component_sum(self, scenario):
+        point = ScalingStudy(scenario, FAST).run_point(8)
+        reconstructed = (
+            point.forward_time
+            + max(point.backward_time,
+                  point.backward_time + point.exposed_comm_time)
+            + point.blocking_time
+            + point.update_time
+        )
+        assert point.step_time == pytest.approx(reconstructed, rel=1e-6)
+
+    def test_throughput_consistent_with_step_time(self):
+        point = ScalingStudy(MPI_OPT, FAST).run_point(8)
+        assert point.images_per_second == pytest.approx(
+            8 * 4 / point.step_time, rel=1e-6
+        )
+        assert point.per_gpu_rate == pytest.approx(
+            point.images_per_second / 8
+        )
+
+    def test_gradient_bytes_conserved_at_every_scale(self):
+        study = ScalingStudy(MPI_OPT, FAST)
+        for gpus in (4, 16, 64):
+            point = study.run_point(gpus)
+            assert sum(point.message_sizes) == study.cost.gradient_bytes
+
+    def test_forward_backward_ratio(self):
+        """Backward is 2x forward (the standard training FLOP split)."""
+        point = ScalingStudy(MPI_OPT, FAST).run_point(4)
+        straggler_free_backward = point.backward_time
+        # backward_time carries the straggler factor; ratio still ~2x
+        assert 1.9 < straggler_free_backward / point.forward_time < 2.4
+
+
+class TestDegradedFabric:
+    def test_quarter_speed_ib_reduces_multi_node_throughput(self):
+        slow_ib = replace(
+            LASSEN, ib=LinkSpec("ib-slow", LASSEN.ib.latency_s,
+                                LASSEN.ib.bandwidth / 4)
+        )
+        healthy = ScalingStudy(MPI_OPT, FAST).run_point(32)
+        degraded_cfg = StudyConfig(cluster=slow_ib, measure_steps=1,
+                                   warmup_steps=1)
+        degraded = ScalingStudy(MPI_OPT, degraded_cfg).run_point(32)
+        assert degraded.images_per_second < healthy.images_per_second
+        # single-node runs are untouched by the fabric change
+        healthy_1n = ScalingStudy(MPI_OPT, FAST).run_point(4)
+        degraded_1n = ScalingStudy(MPI_OPT, degraded_cfg).run_point(4)
+        assert degraded_1n.images_per_second == pytest.approx(
+            healthy_1n.images_per_second, rel=1e-6
+        )
+
+    def test_high_latency_fabric_hurts_small_messages_most(self):
+        """100x IB latency: chunked inter-node rings absorb a per-step cost."""
+        laggy = replace(
+            LASSEN, ib=LinkSpec("ib-laggy", LASSEN.ib.latency_s * 100,
+                                LASSEN.ib.bandwidth)
+        )
+        cfg = StudyConfig(cluster=laggy, measure_steps=1, warmup_steps=1)
+        healthy = ScalingStudy(MPI_OPT, FAST).run_point(32)
+        delayed = ScalingStudy(MPI_OPT, cfg).run_point(32)
+        assert delayed.comm_wall_time > healthy.comm_wall_time

@@ -1,0 +1,220 @@
+"""Autograd correctness: analytic gradients vs. central finite differences,
+plus graph-mechanics tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GradError, ShapeError, TensorError
+from repro.tensor import Tensor, functional as F, no_grad
+
+RNG = np.random.default_rng(42)
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar fn wrt x (float64 internally)."""
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + eps
+        plus = fn(x.astype(np.float32))
+        flat_x[i] = orig - eps
+        minus = fn(x.astype(np.float32))
+        flat_x[i] = orig
+        flat_g[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_grad(op, x_data: np.ndarray, atol=1e-2, rtol=1e-2):
+    x = Tensor(x_data, requires_grad=True)
+    out = op(x)
+    loss = out.sum() if out.size > 1 else out
+    loss.backward()
+
+    def scalar_fn(data):
+        return op(Tensor(data)).numpy().sum()
+
+    expected = numeric_grad(scalar_fn, x_data)
+    np.testing.assert_allclose(x.grad, expected, atol=atol, rtol=rtol)
+
+
+class TestBasicOps:
+    def test_add_backward(self):
+        check_grad(lambda x: x + 3.0, RNG.standard_normal((3, 4)).astype(np.float32))
+
+    def test_mul_backward(self):
+        check_grad(lambda x: x * x, RNG.standard_normal((3, 4)).astype(np.float32))
+
+    def test_div_backward(self):
+        data = RNG.standard_normal((3, 4)).astype(np.float32) + 3.0
+        check_grad(lambda x: 2.0 / x, data)
+
+    def test_pow_backward(self):
+        data = np.abs(RNG.standard_normal((5,))).astype(np.float32) + 0.5
+        check_grad(lambda x: x**3, data)
+
+    def test_broadcast_add_backward(self):
+        a = Tensor(RNG.standard_normal((3, 4)).astype(np.float32), requires_grad=True)
+        b = Tensor(RNG.standard_normal((4,)).astype(np.float32), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_matmul_backward(self):
+        a_data = RNG.standard_normal((3, 4)).astype(np.float32)
+        b_data = RNG.standard_normal((4, 2)).astype(np.float32)
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 2)) @ b_data.T, atol=1e-5)
+        np.testing.assert_allclose(b.grad, a_data.T @ np.ones((3, 2)), atol=1e-5)
+
+    def test_mean_backward(self):
+        check_grad(lambda x: x.mean(), RNG.standard_normal((4, 4)).astype(np.float32))
+
+    def test_sum_axis_backward(self):
+        check_grad(
+            lambda x: F.sum_(x, axis=1).sum(),
+            RNG.standard_normal((3, 5)).astype(np.float32),
+        )
+
+    def test_reshape_transpose_backward(self):
+        check_grad(
+            lambda x: (F.transpose(F.reshape(x, (4, 3))) * 2.0).sum(),
+            RNG.standard_normal((3, 4)).astype(np.float32),
+        )
+
+    def test_concatenate_backward(self):
+        a = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((3, 2), dtype=np.float32), requires_grad=True)
+        out = F.concatenate([a, b], axis=0)
+        (out * Tensor(np.arange(10, dtype=np.float32).reshape(5, 2))).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0, 1], [2, 3]])
+        np.testing.assert_allclose(b.grad, [[4, 5], [6, 7], [8, 9]])
+
+    @pytest.mark.parametrize("fn", [F.exp, F.log, F.sqrt, F.abs_])
+    def test_unary_backward(self, fn):
+        data = np.abs(RNG.standard_normal((6,))).astype(np.float32) + 0.5
+        check_grad(fn, data)
+
+    def test_clip_backward(self):
+        data = np.linspace(-2, 2, 9, dtype=np.float32)
+        x = Tensor(data, requires_grad=True)
+        F.clip(x, -1.0, 1.0).sum().backward()
+        expected = ((data >= -1) & (data <= 1)).astype(np.float32)
+        np.testing.assert_allclose(x.grad, expected)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "fn",
+        [F.relu, lambda x: F.leaky_relu(x, 0.1), F.sigmoid, F.tanh],
+    )
+    def test_activation_gradients(self, fn):
+        data = RNG.standard_normal((4, 5)).astype(np.float32) + 0.05
+        check_grad(fn, data)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(RNG.standard_normal((3, 7)).astype(np.float32))
+        out = F.softmax(x)
+        np.testing.assert_allclose(out.numpy().sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_softmax_gradient(self):
+        data = RNG.standard_normal((2, 5)).astype(np.float32)
+        weights = RNG.standard_normal((2, 5)).astype(np.float32)
+        check_grad(lambda x: (F.softmax(x) * Tensor(weights)).sum(), data)
+
+
+class TestGraphMechanics:
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(GradError):
+            (x * 2).backward()
+
+    def test_backward_on_no_grad_tensor_rejected(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(GradError):
+            x.sum().backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 2).sum().backward()
+        np.testing.assert_allclose(x.grad, 4.0)
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        x = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        y = x * 3
+        z = (y + y).sum()
+        z.backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_shared_subexpression_deep_chain(self):
+        x = Tensor(np.array([1.5], dtype=np.float32), requires_grad=True)
+        a = x * x  # x^2
+        b = a * x  # x^3
+        c = (a + b).sum()  # x^2 + x^3 -> grad = 2x + 3x^2
+        c.backward()
+        np.testing.assert_allclose(x.grad, [2 * 1.5 + 3 * 1.5**2], rtol=1e-5)
+
+    def test_no_grad_context_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2).detach() * 3
+        assert not y.requires_grad
+
+    def test_float64_coerced_to_float32(self):
+        x = Tensor(np.ones(3, dtype=np.float64))
+        assert x.dtype == np.float32
+
+    def test_wrapping_tensor_rejected(self):
+        with pytest.raises(TensorError):
+            Tensor(Tensor(np.ones(2)))
+
+    def test_item_requires_scalar(self):
+        with pytest.raises(TensorError):
+            Tensor(np.ones(3)).item()
+
+    def test_gradient_shape_mismatch_rejected(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        with pytest.raises(GradError):
+            x.accumulate_grad(np.ones((3, 2), dtype=np.float32))
+
+
+class TestLosses:
+    def test_mse_matches_formula(self):
+        p = Tensor(np.array([1.0, 2.0, 3.0], dtype=np.float32), requires_grad=True)
+        t = Tensor(np.array([0.0, 0.0, 0.0], dtype=np.float32))
+        loss = F.mse_loss(p, t)
+        assert loss.item() == pytest.approx((1 + 4 + 9) / 3)
+        loss.backward()
+        np.testing.assert_allclose(p.grad, 2 * np.array([1, 2, 3]) / 3, rtol=1e-5)
+
+    def test_l1_gradient_is_sign(self):
+        p = Tensor(np.array([2.0, -3.0], dtype=np.float32), requires_grad=True)
+        t = Tensor(np.zeros(2, dtype=np.float32))
+        F.l1_loss(p, t).backward()
+        np.testing.assert_allclose(p.grad, [0.5, -0.5])
+
+    def test_cross_entropy_gradient(self):
+        logits_data = RNG.standard_normal((4, 6)).astype(np.float32)
+        labels = np.array([0, 2, 5, 1])
+        logits = Tensor(logits_data, requires_grad=True)
+        F.cross_entropy(logits, labels).backward()
+
+        def fn(data):
+            return F.cross_entropy(Tensor(data), labels).item()
+
+        expected = numeric_grad(fn, logits_data)
+        np.testing.assert_allclose(logits.grad, expected, atol=2e-2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            F.mse_loss(Tensor(np.ones(3)), Tensor(np.ones(4)))
