@@ -43,8 +43,28 @@ class CudaIpcError(CudaError):
     """CUDA IPC handle could not be created or opened."""
 
 
+class FaultError(ReproError):
+    """Base class for errors surfaced by the fault-injection subsystem."""
+
+
+class FaultPlanError(FaultError):
+    """A :class:`~repro.faults.FaultPlan` is malformed or inconsistent."""
+
+
+class RankFailedError(FaultError):
+    """A rank failed and the resilience policy does not allow recovery."""
+
+
 class MpiError(ReproError):
     """Simulated MPI error (mirrors ``MPI_ERR_*``)."""
+
+
+class MessageDroppedError(MpiError):
+    """A message was lost in transit (injected fault, no retry budget)."""
+
+
+class MpiTimeoutError(MpiError):
+    """A communication operation exhausted its retry/timeout budget."""
 
 
 class MpiTruncateError(MpiError):

@@ -1,0 +1,43 @@
+"""Deterministic fault injection (chaos engineering for the simulator).
+
+The scaling results this repo reproduces hinge on mechanisms that only
+misbehave under adverse conditions — IPC falling back to host staging,
+registration-cache churn, stragglers eroding synchronous allreduce.  This
+package makes those conditions first-class and reproducible:
+
+* :class:`FaultPlan` — a frozen, JSON-serializable schedule of faults
+  (stragglers, compute jitter, link degradation/flapping, message
+  drops/delays, rank failures) keyed by a root seed;
+* :class:`FaultInjector` — the runtime object every layer consults, which
+  records each injection and recovery into a :class:`FaultTrace`;
+* :class:`RetryPolicy` — retransmission semantics (ack timeout,
+  exponential backoff, retry budget) used by the MPI transports.
+
+See ``docs/faults.md`` for the schema and the per-layer injection points.
+"""
+
+from repro.faults.injector import FaultInjector, MessageVerdict
+from repro.faults.plan import (
+    FaultPlan,
+    JitterFault,
+    LinkFault,
+    MessageFault,
+    RankFailure,
+    RetryPolicy,
+    StragglerFault,
+)
+from repro.faults.trace import FaultEvent, FaultTrace
+
+__all__ = [
+    "FaultPlan",
+    "StragglerFault",
+    "JitterFault",
+    "LinkFault",
+    "MessageFault",
+    "RankFailure",
+    "RetryPolicy",
+    "FaultInjector",
+    "MessageVerdict",
+    "FaultEvent",
+    "FaultTrace",
+]

@@ -1,0 +1,206 @@
+"""Runtime fault injector: the single object every layer consults.
+
+One :class:`FaultInjector` is built from a :class:`~repro.faults.FaultPlan`
+and threaded through the stack:
+
+* :class:`~repro.hardware.links.Link` / ``Cluster.path_cost`` ask
+  :meth:`link_state` for bandwidth/latency degradation;
+* :class:`~repro.mpi.transports.TransportModel.transfer_proc` asks
+  :meth:`message_verdict` per transmission attempt (drop / delay);
+* the Horovod coordinator and trainer ask :meth:`failure_time` /
+  :meth:`failed_ranks` for membership, and :meth:`compute_factor` for
+  straggler/jitter slowdown.
+
+Every injected fault and recovery action is recorded into a
+:class:`~repro.faults.trace.FaultTrace` and mirrored to optional timeline
+and hvprof sinks, so chaos runs are observable post hoc.  All randomness
+derives from the plan seed via :func:`~repro.utils.seeding.derive_seed`;
+two runs with identical (plan, workload) produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.plan import (
+    FaultPlan,
+    JitterFault,
+    LinkFault,
+    MessageFault,
+    RankFailure,
+    StragglerFault,
+)
+from repro.faults.trace import FaultTrace
+from repro.utils.seeding import derive_seed
+
+
+@dataclass(frozen=True)
+class MessageVerdict:
+    """Outcome of consulting the injector for one transmission attempt."""
+
+    drop: bool = False
+    delay_s: float = 0.0
+
+
+def _window_active(start: float, duration: float | None, time: float) -> bool:
+    if time < start:
+        return False
+    return duration is None or time < start + duration
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against the simulation clock."""
+
+    def __init__(self, plan: FaultPlan, *, timeline=None, hvprof=None):
+        self.plan = plan
+        self.trace = FaultTrace()
+        self.timeline = timeline
+        self.hvprof = hvprof
+        self._stragglers = plan.of_type(StragglerFault)
+        self._jitters = plan.of_type(JitterFault)
+        self._links = plan.of_type(LinkFault)
+        self._messages = plan.of_type(MessageFault)
+        self._failures = {f.rank: f.time for f in plan.of_type(RankFailure)}
+        self._msg_seq = 0
+        # transition keys already recorded (one trace event per onset, not
+        # one per query)
+        self._noted: set[tuple] = set()
+
+    # -- recording --------------------------------------------------------------
+    def record(
+        self,
+        kind: str,
+        time: float,
+        *,
+        rank: int | None = None,
+        src: int | None = None,
+        dst: int | None = None,
+        detail: str = "",
+    ) -> None:
+        """Append to the trace and mirror to the observability sinks."""
+        self.trace.record(kind, time, rank=rank, src=src, dst=dst, detail=detail)
+        if self.timeline is not None:
+            self.timeline.record(
+                f"fault:{kind}", start=time, duration=0.0, detail=detail
+            )
+        if self.hvprof is not None:
+            self.hvprof.record_fault(kind, time, detail=detail)
+
+    def _note(self, key: tuple, kind: str, time: float, **fields) -> None:
+        if key in self._noted:
+            return
+        self._noted.add(key)
+        self.record(kind, time, **fields)
+
+    # -- compute (stragglers / jitter) ------------------------------------------
+    def compute_factor(self, rank: int, time: float, step: int = 0) -> float:
+        """Slowdown multiplier for one rank's compute at (time, step)."""
+        factor = 1.0
+        for i, f in enumerate(self._stragglers):
+            if f.rank != rank:
+                continue
+            if _window_active(f.start, f.duration, time):
+                factor *= f.factor
+                self._note(
+                    ("straggler", i), "straggler-on", time,
+                    rank=rank, detail=f"factor={f.factor:g}",
+                )
+            elif ("straggler", i) in self._noted:
+                self._note(
+                    ("straggler-off", i), "straggler-off", time, rank=rank
+                )
+        for f in self._jitters:
+            if f.sigma > 0 and _window_active(f.start, f.duration, time):
+                z = abs(
+                    float(
+                        np.random.default_rng(
+                            derive_seed(self.plan.seed, "jitter", rank, step)
+                        ).standard_normal()
+                    )
+                )
+                factor *= 1.0 + f.sigma * z
+        return factor
+
+    # -- links ------------------------------------------------------------------
+    def link_state(self, kind, time: float) -> tuple[float, float]:
+        """(bandwidth multiplier, extra latency seconds) for a link class.
+
+        ``kind`` is a :class:`~repro.hardware.links.LinkKind` (or its value
+        string).  Flapping faults alternate degraded/healthy half-periods.
+        """
+        kind_value = getattr(kind, "value", kind)
+        bw_factor = 1.0
+        extra = 0.0
+        for i, f in enumerate(self._links):
+            if f.kind is not None and f.kind != kind_value:
+                continue
+            if not _window_active(f.start, f.duration, time):
+                continue
+            if f.flap_period_s > 0:
+                phase = (time - f.start) % f.flap_period_s
+                cycle = int((time - f.start) // f.flap_period_s)
+                if phase >= f.flap_period_s / 2:
+                    self._note(
+                        ("link-up", i, cycle), "link-restored", time,
+                        detail=kind_value,
+                    )
+                    continue
+                self._note(
+                    ("link-down", i, cycle), "link-degraded", time,
+                    detail=f"{kind_value} bw*{f.bandwidth_factor:g} cycle={cycle}",
+                )
+            else:
+                self._note(
+                    ("link-down", i), "link-degraded", time,
+                    detail=f"{kind_value} bw*{f.bandwidth_factor:g}",
+                )
+            bw_factor *= f.bandwidth_factor
+            extra += f.latency_add_s
+        return bw_factor, extra
+
+    # -- messages ---------------------------------------------------------------
+    def message_verdict(self, src: int, dst: int, time: float) -> MessageVerdict:
+        """Drop/delay decision for one transmission attempt.
+
+        Each consultation advances a sequence counter, so retransmissions
+        re-roll the (seeded) drop decision deterministically.
+        """
+        drop = False
+        delay = 0.0
+        for f in self._messages:
+            if f.src is not None and f.src != src:
+                continue
+            if f.dst is not None and f.dst != dst:
+                continue
+            if not _window_active(f.start, f.duration, time):
+                continue
+            delay += f.delay_s
+            if f.drop_prob > 0 and not drop:
+                seq = self._msg_seq
+                self._msg_seq += 1
+                u = float(
+                    np.random.default_rng(
+                        derive_seed(self.plan.seed, "drop", src, dst, seq)
+                    ).random()
+                )
+                drop = u < f.drop_prob
+        if drop:
+            self.record("msg-drop", time, src=src, dst=dst)
+        elif delay > 0:
+            self.record("msg-delay", time, src=src, dst=dst,
+                        detail=f"{delay:g}s")
+        return MessageVerdict(drop=drop, delay_s=delay)
+
+    # -- rank failures ----------------------------------------------------------
+    def failure_time(self, rank: int) -> float | None:
+        """When ``rank`` permanently fails, or None if it never does."""
+        return self._failures.get(rank)
+
+    def failed_ranks(self, time: float) -> set[int]:
+        return {r for r, t in self._failures.items() if t <= time}
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(self.plan.faults)

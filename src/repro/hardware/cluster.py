@@ -47,6 +47,18 @@ class Cluster:
         self._ib_links = [
             Link(env, ib_spec, LinkKind.IB, node.hca_ref, CORE) for node in self.nodes
         ]
+        self.fault_injector = None
+
+    def apply_fault_injector(self, injector) -> None:
+        """Register a :class:`~repro.faults.FaultInjector` on every link so
+        active :class:`~repro.faults.LinkFault` windows degrade both the
+        event-driven transfers and the analytic ``path_cost``."""
+        self.fault_injector = injector
+        for node in self.nodes:
+            for link in node.links:
+                link.fault_injector = injector
+        for link in self._ib_links:
+            link.fault_injector = injector
 
     # -- device addressing -------------------------------------------------
     @property
@@ -122,6 +134,15 @@ class Cluster:
         hops = self.route(src, dst)
         if not hops:
             return 0.0
+        if self.fault_injector is not None:
+            now = self.env.now
+            alpha = 0.0
+            bottleneck = float("inf")
+            for link, _, _ in hops:
+                bw_factor, extra = self.fault_injector.link_state(link.kind, now)
+                alpha += link.spec.latency_s + extra
+                bottleneck = min(bottleneck, link.spec.bandwidth * bw_factor)
+            return alpha + nbytes / bottleneck
         alpha = sum(link.spec.latency_s for link, _, _ in hops)
         bottleneck = min(link.spec.bandwidth for link, _, _ in hops)
         return alpha + nbytes / bottleneck

@@ -61,6 +61,8 @@ class Link:
             self._res = {(a, b): shared, (b, a): shared}
         self.bytes_carried = 0
         self.transfer_count = 0
+        # optional FaultInjector consulted (at env.now) for degradation
+        self.fault_injector = None
 
     def other(self, endpoint: object) -> object:
         if endpoint == self.a:
@@ -79,7 +81,17 @@ class Link:
             raise KeyError(f"no direction {src!r}->{dst!r} on {self!r}") from None
 
     def transfer_time(self, nbytes: int) -> float:
-        """Uncontended message cost."""
+        """Uncontended message cost (degraded if a link fault is active)."""
+        if self.fault_injector is not None:
+            bw_factor, extra = self.fault_injector.link_state(
+                self.kind, self.env.now
+            )
+            if bw_factor != 1.0 or extra != 0.0:
+                return (
+                    self.spec.latency_s
+                    + extra
+                    + nbytes / (self.spec.bandwidth * bw_factor)
+                )
         return self.spec.transfer_time(nbytes)
 
     def transfer(self, src: object, dst: object, nbytes: int) -> Generator:

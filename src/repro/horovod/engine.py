@@ -118,6 +118,17 @@ class HorovodEngine:
     def num_ranks(self) -> int:
         return self.comm.size
 
+    def shrink_to(self, ranks: list[int]) -> None:
+        """Rebuild the communicator on surviving ranks after a failure.
+
+        Mirrors an elastic-Horovod re-initialization: the response cache
+        and fusion-slot identities are stale for the new ring and are
+        dropped (the registration cache then re-warms on the new buffers).
+        """
+        self.comm = self.comm.restrict(ranks)
+        self._slot_buffers.clear()
+        self._response_cache.clear()
+
     # -- buffers -----------------------------------------------------------------
     def _buffers_for(self, message: FusionMessage) -> list[GpuBuffer]:
         """Per-rank GpuBuffers for one message (stable ids for fused slots)."""
@@ -187,7 +198,9 @@ class HorovodEngine:
             t_earliest = max(pending[i].ready_time, exec_free)
             if cycle > 0:
                 k = int(np.floor(t_earliest / cycle + 0.5 - 1e-12))
-                fire = (k + 0.5) * cycle
+                # clamp: the epsilon above can land fire a float-ulp below
+                # t_earliest, which would drain nothing and never advance
+                fire = max((k + 0.5) * cycle, t_earliest)
             else:
                 fire = t_earliest
             cycles_used += 1

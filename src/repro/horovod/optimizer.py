@@ -64,6 +64,20 @@ class DistributedOptimizer:
         self.optimizers = list(optimizers)
         self.models = list(models)
         self.engine = engine
+        # original rank ids owning each replica (shrinks on rank failure)
+        self.ranks = list(range(len(models)))
+
+    def drop_rank(self, rank: int) -> None:
+        """Remove a failed rank's replica and shrink the engine's ring."""
+        if rank not in self.ranks:
+            raise HorovodError(f"rank {rank} not in optimizer world {self.ranks}")
+        if len(self.ranks) == 1:
+            raise HorovodError("cannot drop the last surviving rank")
+        i = self.ranks.index(rank)
+        del self.ranks[i]
+        del self.models[i]
+        del self.optimizers[i]
+        self.engine.shrink_to(self.ranks)
 
     def zero_grad(self) -> None:
         for opt in self.optimizers:

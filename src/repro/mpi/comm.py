@@ -127,13 +127,18 @@ class MpiWorld:
         spec: WorldSpec,
         *,
         mode: ExecutionMode = ExecutionMode.ANALYTIC,
+        faults=None,
+        retry=None,
     ):
         self.cluster = cluster
         self.spec = spec
         self.ranks: list[RankContext] = build_world(cluster, spec)
-        self.transport = TransportModel(cluster, spec.config, self.ranks)
+        self.transport = TransportModel(
+            cluster, spec.config, self.ranks, faults=faults, retry=retry
+        )
         self.coster = StepCoster(self.transport, mode)
         self.mode = mode
+        self.faults = faults
 
     @property
     def size(self) -> int:
@@ -162,6 +167,21 @@ class Communicator:
 
     def add_observer(self, observer: CollectiveObserver) -> None:
         self.observers.append(observer)
+
+    def restrict(self, ranks: Sequence[int]) -> "Communicator":
+        """Sub-communicator on a subset of this communicator's ranks
+        (elastic ring shrink after a rank failure).  Observers carry over."""
+        missing = set(ranks) - set(self.ranks)
+        if missing:
+            raise MpiError(
+                f"cannot restrict to ranks {sorted(missing)} not in "
+                f"communicator {self.ranks}"
+            )
+        if not ranks:
+            raise MpiError("cannot restrict a communicator to zero ranks")
+        sub = Communicator(self.world, list(ranks))
+        sub.observers = list(self.observers)
+        return sub
 
     def split_by_node(self) -> list["Communicator"]:
         """One sub-communicator per node (like MPI_Comm_split_type)."""

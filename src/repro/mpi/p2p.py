@@ -129,7 +129,14 @@ class P2PFabric:
             send.rendezvous_started.succeed()
 
         def deliver():
-            yield send.wire_done
+            try:
+                yield send.wire_done
+            except MpiError as exc:
+                # transport gave up (injected loss, retry budget exhausted):
+                # surface the typed error to the receiver instead of
+                # stranding it
+                recv.done.fail(exc)
+                return
             if send.data is not None and recv.out is not None:
                 flat = recv.out.reshape(-1)
                 flat[: send.data.size] = send.data.reshape(-1)
@@ -169,7 +176,13 @@ class P2PFabric:
         def wire():
             if rendezvous_started is not None:
                 yield rendezvous_started
-            yield self.env.process(self.transport.transfer_proc(src, dst, size))
+            try:
+                yield self.env.process(
+                    self.transport.transfer_proc(src, dst, size)
+                )
+            except MpiError as exc:
+                wire_done.fail(exc)
+                return
             wire_done.succeed()
 
         self.env.process(wire(), name=f"send:{src}->{dst}:{tag}")
@@ -190,7 +203,11 @@ class P2PFabric:
                 # eager: send buffer reusable immediately after local copy
                 yield self.env.timeout(0)
             else:
-                yield wire_done
+                try:
+                    yield wire_done
+                except MpiError as exc:
+                    completion.fail(exc)
+                    return
             completion.succeed()
 
         self.env.process(completer(), name=f"send-completion:{src}->{dst}")

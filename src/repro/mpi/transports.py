@@ -31,7 +31,8 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.cuda.runtime import IPC_OPEN_OVERHEAD_S
-from repro.errors import MpiError
+from repro.errors import MpiError, MpiTimeoutError
+from repro.faults.plan import RetryPolicy
 from repro.hardware.cluster import Cluster
 from repro.hardware.node import DeviceRef
 from repro.mpi.env import Mv2Config
@@ -97,9 +98,21 @@ class TransportStats:
 class TransportModel:
     """Selects and costs transports for one MPI world."""
 
-    def __init__(self, cluster: Cluster, config: Mv2Config, ranks: list[RankContext]):
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Mv2Config,
+        ranks: list[RankContext],
+        *,
+        faults=None,
+        retry: RetryPolicy | None = None,
+    ):
         self.cluster = cluster
         self.config = config
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
+        if faults is not None:
+            cluster.apply_fault_injector(faults)
         self.ranks = {r.rank: r for r in ranks}
         env = cluster.env
         node_ids = sorted({r.node_id for r in ranks})
@@ -268,7 +281,40 @@ class TransportModel:
         dst_buffer: int | None = None,
         buffer_extent: int | None = None,
     ):
-        """Simulation process realizing the same cost with link contention."""
+        """Simulation process realizing the same cost with link contention.
+
+        With a fault injector attached, every transmission attempt is
+        subject to injected delay and loss.  A lost message costs the ack
+        timeout to detect, then retransmits after exponential backoff;
+        exhausting the retry budget raises
+        :class:`~repro.errors.MpiTimeoutError` (surfaced, not a hang).
+        """
+        env_ = self.cluster.env
+        if self.faults is not None:
+            attempt = 0
+            while True:
+                verdict = self.faults.message_verdict(src, dst, env_.now)
+                if verdict.delay_s > 0:
+                    yield env_.timeout(verdict.delay_s)
+                if not verdict.drop:
+                    break
+                attempt += 1
+                if attempt > self.retry.max_retries:
+                    self.faults.record(
+                        "msg-timeout", env_.now, src=src, dst=dst,
+                        detail=f"{nbytes}B after {attempt} attempts",
+                    )
+                    raise MpiTimeoutError(
+                        f"message {src}->{dst} ({nbytes}B) lost {attempt} "
+                        f"times; retry budget ({self.retry.max_retries}) "
+                        "exhausted"
+                    )
+                backoff = self.retry.backoff(attempt)
+                self.faults.record(
+                    "msg-retry", env_.now, src=src, dst=dst,
+                    detail=f"attempt={attempt} backoff={backoff:g}s",
+                )
+                yield env_.timeout(self.retry.ack_timeout_s + backoff)
         a, b = self.ranks[src], self.ranks[dst]
         kind = self.select(src, dst, nbytes)
         breakdown = self.cost(
@@ -316,6 +362,20 @@ class TransportModel:
                 for channel in reversed(held):
                     channel.release()
         return kind
+
+    def drop_registrations(self, node_id: int | None = None) -> float:
+        """Flush registration caches (fault recovery after an HCA reset or
+        link flap); returns the total deregistration time charged."""
+        time = 0.0
+        for nid, ib in self._ib.items():
+            if node_id is None or nid == node_id:
+                time += ib.reg_cache.invalidate_all()
+        if self.faults is not None:
+            self.faults.record(
+                "regcache-flush", self.cluster.env.now,
+                detail="all nodes" if node_id is None else f"node {node_id}",
+            )
+        return time
 
     # -- reporting -------------------------------------------------------------------
     def regcache_stats(self) -> dict[str, float]:

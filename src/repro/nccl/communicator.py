@@ -70,6 +70,20 @@ class NcclCommunicator:
     def add_observer(self, observer: CollectiveObserver) -> None:
         self.observers.append(observer)
 
+    def restrict(self, ranks: Sequence[int]) -> "NcclCommunicator":
+        """Sub-communicator on surviving ranks (elastic ring shrink)."""
+        missing = set(ranks) - set(self.ranks)
+        if missing:
+            raise NcclError(
+                f"cannot restrict to ranks {sorted(missing)} not in "
+                f"communicator {self.ranks}"
+            )
+        if not ranks:
+            raise NcclError("cannot restrict a communicator to zero ranks")
+        sub = NcclCommunicator(self.world, list(ranks))
+        sub.observers = list(self.observers)
+        return sub
+
     # -- timing models ----------------------------------------------------------
     def _node_count(self) -> int:
         gpn = self.world.cluster.gpus_per_node

@@ -68,9 +68,11 @@ class RegistrationCache:
         self.max_entries = max_entries
         self._entries: OrderedDict[int, _Entry] = OrderedDict()
         self._txn: set[int] = set()
+        self._poisoned: set[int] = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def begin_transaction(self) -> None:
         """Start a new MPI call scope.
@@ -99,6 +101,21 @@ class RegistrationCache:
         count_stats = buffer_id not in self._txn
         self._txn.add(buffer_id)
         entry = self._entries.get(buffer_id)
+        if buffer_id in self._poisoned:
+            # stale registration (HCA reset / fault-induced remap): the MTT
+            # entries may point at reclaimed pages, so the cached entry must
+            # NOT be reused — tear it down and re-register from scratch
+            self._poisoned.discard(buffer_id)
+            if entry is not None:
+                del self._entries[buffer_id]
+                self._entries[buffer_id] = _Entry(nbytes)
+                if count_stats:
+                    self.misses += 1
+                return (
+                    self.cost.deregister_time(entry.nbytes)
+                    + self.cost.register_time(nbytes)
+                )
+            entry = None
         if entry is not None and entry.nbytes >= nbytes:
             self._entries.move_to_end(buffer_id)
             if count_stats:
@@ -120,10 +137,34 @@ class RegistrationCache:
 
     def invalidate(self, buffer_id: int) -> float:
         """Buffer freed: deregistration cost if it was cached."""
+        self._poisoned.discard(buffer_id)
         entry = self._entries.pop(buffer_id, None)
         if entry is None:
             return 0.0
+        self.invalidations += 1
         return self.cost.deregister_time(entry.nbytes)
+
+    def poison(self, buffer_id: int) -> None:
+        """Mark a cached registration stale without removing it.
+
+        Models fault-induced invalidation (HCA reset, page remap after a
+        link flap): the entry stays resident but the next ``acquire`` must
+        deregister and re-register instead of hitting.
+        """
+        if buffer_id in self._entries:
+            self._poisoned.add(buffer_id)
+            self.invalidations += 1
+
+    def invalidate_all(self) -> float:
+        """Flush every registration (fault recovery); returns total
+        deregistration cost charged."""
+        time = sum(
+            self.cost.deregister_time(e.nbytes) for e in self._entries.values()
+        )
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+        self._poisoned.clear()
+        return time
 
     @property
     def lookups(self) -> int:
@@ -140,6 +181,7 @@ class RegistrationCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
             "entries": len(self._entries),
         }

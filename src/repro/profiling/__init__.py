@@ -8,7 +8,7 @@ paper's Fig. 14 and Table I.
 """
 
 from repro.profiling.bins import PAPER_BINS, SizeBin, bin_for
-from repro.profiling.hvprof import Hvprof
+from repro.profiling.hvprof import FaultRecord, Hvprof
 from repro.profiling.report import comparison_table, improvement_summary
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "PAPER_BINS",
     "bin_for",
     "Hvprof",
+    "FaultRecord",
     "comparison_table",
     "improvement_summary",
 ]

@@ -20,6 +20,15 @@ class OpRecord:
 
 
 @dataclass
+class FaultRecord:
+    """One injected fault / recovery action (from ``repro.faults``)."""
+
+    kind: str
+    time: float
+    detail: str = ""
+
+
+@dataclass
 class BinStats:
     count: int = 0
     total_time: float = 0.0
@@ -42,6 +51,7 @@ class Hvprof:
     def __init__(self, bins: tuple[SizeBin, ...] = PAPER_BINS):
         self.bins = bins
         self.records: list[OpRecord] = []
+        self.fault_records: list[FaultRecord] = []
 
     # -- collection ------------------------------------------------------------
     def observer(self, timing: CollectiveTiming, backend: str) -> None:
@@ -55,8 +65,15 @@ class Hvprof:
             )
         )
 
+    def record_fault(self, kind: str, time: float, detail: str = "") -> None:
+        """Sink for :class:`~repro.faults.FaultInjector` (pass the profiler
+        as its ``hvprof=`` argument); makes injected runs observable in the
+        same report stream as the collectives they perturb."""
+        self.fault_records.append(FaultRecord(kind=kind, time=time, detail=detail))
+
     def clear(self) -> None:
         self.records.clear()
+        self.fault_records.clear()
 
     # -- aggregation ------------------------------------------------------------
     def filtered(self, op: str | None = None) -> list[OpRecord]:
@@ -128,6 +145,24 @@ class Hvprof:
             table.add_row(
                 algorithm, stats.count, format_time(stats.total_time),
                 f"{share:.1%}",
+            )
+        return table.render()
+
+    def fault_report(self) -> str:
+        """Count of injected faults / recovery actions by kind."""
+        table = TextTable(
+            ["Fault Kind", "Count", "First", "Last"],
+            title="hvprof: injected faults",
+        )
+        by_kind: dict[str, list[FaultRecord]] = {}
+        for record in self.fault_records:
+            by_kind.setdefault(record.kind, []).append(record)
+        for kind, records in sorted(by_kind.items()):
+            table.add_row(
+                kind,
+                len(records),
+                format_time(records[0].time),
+                format_time(records[-1].time),
             )
         return table.render()
 

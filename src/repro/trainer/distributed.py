@@ -23,6 +23,7 @@ from repro.data.dataset import SRDataset
 from repro.data.loader import PatchLoader
 from repro.data.sampler import DistributedSampler
 from repro.errors import ConfigError
+from repro.horovod.coordinator import FaultTolerantCoordinator, ResiliencePolicy
 from repro.horovod.engine import HorovodEngine
 from repro.horovod.optimizer import (
     DistributedOptimizer,
@@ -40,6 +41,8 @@ class DistributedTrainResult:
     simulated_step_times: list[float] = field(default_factory=list)
     steps: int = 0
     total_images: int = 0
+    # world size at each step (shrinks when a rank failure is absorbed)
+    world_sizes: list[int] = field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
@@ -67,11 +70,21 @@ class DistributedTrainer:
         base_lr: float = 1e-4,
         scale_lr: bool = True,
         seed: int = 0,
+        faults=None,
+        resilience: ResiliencePolicy | str = ResiliencePolicy.SHRINK,
+        detect_timeout_s: float = 0.05,
     ):
         self.engine = engine
         num_ranks = engine.num_ranks
         if num_ranks < 1:
             raise ConfigError("world must have at least one rank")
+        self.faults = faults
+        self.coordinator = FaultTolerantCoordinator(
+            range(num_ranks),
+            policy=resilience,
+            detect_timeout_s=detect_timeout_s,
+            injector=faults,
+        )
         self.models = [model_factory(rank) for rank in range(num_ranks)]
         # charge each rank's HBM for its Horovod fusion buffer (§II-D step 2)
         engine.allocate_fusion_buffers()
@@ -94,6 +107,11 @@ class DistributedTrainer:
         # numpy-speed, so we use a nominal per-step compute budget
         self.nominal_backward_s = 0.25
 
+    @property
+    def active_ranks(self) -> list[int]:
+        """Ranks still participating (shrinks under rank-failure faults)."""
+        return list(self.dist_opt.ranks)
+
     def train(self, steps: int, *, loss: str = "l1") -> DistributedTrainResult:
         if steps < 1:
             raise ConfigError("steps must be >= 1")
@@ -101,28 +119,49 @@ class DistributedTrainer:
         result = DistributedTrainResult()
         rank_batches = [list(loader.batches(steps)) for loader in self.loaders]
         for step in range(steps):
+            now = sum(result.simulated_step_times)
+            step_overhead = 0.0
+            if self.faults is not None:
+                # membership check: absorb failures per the resilience
+                # policy (SHRINK drops replicas, ABORT raises)
+                removed = self.coordinator.poll(now)
+                for rank in removed:
+                    self.dist_opt.drop_rank(rank)
+                if removed:
+                    step_overhead += self.coordinator.detect_timeout_s
             self.dist_opt.zero_grad()
             losses = []
-            for rank, model in enumerate(self.models):
+            for rank, model in zip(self.dist_opt.ranks, self.dist_opt.models):
                 lr_batch, hr_batch = rank_batches[rank][step]
                 out = model(Tensor(lr_batch))
                 step_loss = loss_fn(out, Tensor(hr_batch))
                 step_loss.backward()
                 losses.append(step_loss.item())
-            timing = self.dist_opt.step(backward_time=self.nominal_backward_s)
+            backward = self.nominal_backward_s
+            if self.faults is not None:
+                # synchronous data parallelism waits for the slowest rank
+                backward *= max(
+                    self.faults.compute_factor(rank, now, step)
+                    for rank in self.dist_opt.ranks
+                )
+            timing = self.dist_opt.step(backward_time=backward)
             result.losses.append(float(np.mean(losses)))
             result.simulated_step_times.append(
-                self.nominal_backward_s / 2  # nominal forward
-                + max(self.nominal_backward_s, timing.comm_finish)
+                step_overhead
+                + backward / 2  # nominal forward
+                + max(backward, timing.comm_finish)
             )
             result.steps += 1
-        result.total_images = steps * self.batch_per_rank * len(self.models)
+            result.world_sizes.append(len(self.dist_opt.ranks))
+            result.total_images += self.batch_per_rank * len(self.dist_opt.ranks)
         return result
 
     def replicas_in_sync(self) -> bool:
-        """Check the data-parallel invariant: all replicas bit-identical."""
-        reference = self.models[0].state_dict()
-        for model in self.models[1:]:
+        """Check the data-parallel invariant: all (surviving) replicas
+        bit-identical."""
+        models = self.dist_opt.models
+        reference = models[0].state_dict()
+        for model in models[1:]:
             for name, value in model.state_dict().items():
                 if not np.array_equal(value, reference[name]):
                     return False

@@ -84,3 +84,14 @@ def test_reproduce_paper(monkeypatch, capsys, tmp_path):
     assert "Fig. 1" in out
     assert "Table I" in out
     assert (tmp_path / "report.txt").exists()
+
+
+def test_inject_faults(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "inject_faults.py",
+        ["--ranks", "4", "--steps", "4", "--fail-rank", "2"],
+    )
+    assert "runs identical: True" in out
+    assert "drift 0.0" in out
+    assert "world size over time" in out
+    assert "ring-shrink" in out

@@ -1,0 +1,431 @@
+"""Chaos suite for the deterministic fault-injection subsystem.
+
+Exercises every injector point: compute stragglers/jitter, link
+degradation and flapping, message drop/delay with retry + backoff,
+and rank failure under both resilience policies — plus the two core
+guarantees (zero-fault identity, seed-reproducibility).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import DegradationConfig, SRDataset, SyntheticDiv2k
+from repro.errors import (
+    DeadlockError,
+    FaultPlanError,
+    MpiTimeoutError,
+    RankFailedError,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    JitterFault,
+    LinkFault,
+    MessageFault,
+    RankFailure,
+    RetryPolicy,
+    StragglerFault,
+)
+from repro.hardware import LASSEN, Cluster
+from repro.horovod import (
+    FaultTolerantCoordinator,
+    HorovodConfig,
+    HorovodEngine,
+    ResiliencePolicy,
+)
+from repro.models import EDSR, EDSR_TINY
+from repro.mpi import MpiWorld, Mv2Config, WorldSpec, build_world
+from repro.mpi.p2p import P2PFabric
+from repro.mpi.process import SingletonDevicePolicy
+from repro.mpi.transports import TransportModel
+from repro.sim import Environment
+from repro.trainer import DistributedTrainer
+
+
+def make_fabric(plan=None, *, retry=None, num_nodes=1):
+    """P2P fabric with an optional fault plan wired into the transport."""
+    env = Environment()
+    cluster = Cluster(env, LASSEN, num_nodes=num_nodes)
+    config = Mv2Config(mv2_visible_devices="all", registration_cache=True)
+    spec = WorldSpec(num_ranks=cluster.num_gpus, policy=SingletonDevicePolicy(),
+                     config=config)
+    ranks = build_world(cluster, spec)
+    injector = FaultInjector(plan) if plan is not None else None
+    transport = TransportModel(cluster, config, ranks, faults=injector,
+                               retry=retry)
+    return env, P2PFabric(transport), injector
+
+
+def make_trainer(plan, *, ranks=4, steps_policy="shrink", detect=0.05):
+    """Small distributed EDSR trainer with an optional fault plan."""
+    cluster = Cluster(Environment(), LASSEN, num_nodes=max(1, (ranks + 3) // 4))
+    config = Mv2Config(mv2_visible_devices="all", registration_cache=True)
+    spec = WorldSpec(num_ranks=ranks, policy=SingletonDevicePolicy(),
+                     config=config)
+    injector = FaultInjector(plan) if plan is not None else None
+    world = MpiWorld(cluster, spec, faults=injector)
+    engine = HorovodEngine(world.communicator(), HorovodConfig(cycle_time_s=2e-3))
+    dataset = SRDataset(SyntheticDiv2k(height=24, width=24, seed=7),
+                        split="train", degradation=DegradationConfig(scale=2))
+    trainer = DistributedTrainer(
+        lambda rank: EDSR(EDSR_TINY, rng=np.random.default_rng(50 + rank)),
+        engine,
+        dataset,
+        batch_per_rank=1,
+        lr_patch=8,
+        faults=injector,
+        resilience=steps_policy,
+        detect_timeout_s=detect,
+    )
+    return trainer, injector
+
+
+class TestFaultPlan:
+    def test_rejects_speedup_straggler(self):
+        with pytest.raises(FaultPlanError):
+            StragglerFault(rank=0, factor=0.5)
+
+    def test_rejects_out_of_range_drop_prob(self):
+        with pytest.raises(FaultPlanError):
+            MessageFault(drop_prob=1.5)
+
+    def test_rejects_link_fault_that_degrades_nothing(self):
+        with pytest.raises(FaultPlanError):
+            LinkFault(kind="ib")
+
+    def test_rejects_message_fault_that_does_nothing(self):
+        with pytest.raises(FaultPlanError):
+            MessageFault(src=0, dst=1)
+
+    def test_json_roundtrip_preserves_plan(self):
+        plan = FaultPlan(
+            seed=7,
+            faults=(
+                StragglerFault(rank=1, factor=2.0, start=0.1, duration=1.0),
+                JitterFault(sigma=0.1),
+                LinkFault(kind="ib", bandwidth_factor=0.25, flap_period_s=0.5),
+                MessageFault(src=0, dst=3, drop_prob=0.5, delay_s=1e-4),
+                RankFailure(rank=2, time=3.0),
+            ),
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        # canonical encoding: a re-dump is byte-identical
+        assert restored.to_json() == plan.to_json()
+        assert json.loads(plan.to_json())["seed"] == 7
+
+    def test_of_type_and_failures(self):
+        plan = FaultPlan(faults=(RankFailure(rank=3, time=1.0),
+                                 StragglerFault(rank=0, factor=1.5)))
+        assert len(plan.of_type(StragglerFault)) == 1
+        assert [f.rank for f in plan.failures] == [3]
+
+
+class TestComputeFaults:
+    def test_straggler_window_on_off(self):
+        plan = FaultPlan(faults=(
+            StragglerFault(rank=2, factor=1.5, start=1.0, duration=2.0),))
+        inj = FaultInjector(plan)
+        assert inj.compute_factor(2, 0.5) == 1.0   # before the window
+        assert inj.compute_factor(2, 1.5) == 1.5   # inside
+        assert inj.compute_factor(2, 3.5) == 1.0   # recovered
+        assert inj.compute_factor(0, 1.5) == 1.0   # other ranks untouched
+        kinds = [e.kind for e in inj.trace]
+        assert "straggler-on" in kinds and "straggler-off" in kinds
+
+    def test_jitter_monotone_in_sigma(self):
+        """For a fixed seed the jitter draw is shared, so step slowdown is
+        monotone in sigma — the chaos knob scales, it doesn't reshuffle."""
+        factors = []
+        for sigma in (0.0, 0.05, 0.2, 0.8):
+            inj = FaultInjector(
+                FaultPlan(seed=13, faults=(JitterFault(sigma=sigma),)))
+            factors.append(inj.compute_factor(1, 0.0, step=3))
+        assert factors == sorted(factors)
+        assert factors[0] == 1.0
+
+    def test_straggler_slows_training_steps(self):
+        base, _ = make_trainer(FaultPlan(seed=1))
+        slow, _ = make_trainer(FaultPlan(seed=1, faults=(
+            StragglerFault(rank=0, factor=2.0),)))
+        t_base = base.train(steps=2).simulated_step_times
+        t_slow = slow.train(steps=2).simulated_step_times
+        assert all(s > b for s, b in zip(t_slow, t_base))
+
+
+class TestLinkFaults:
+    def test_degraded_link_slows_transfers(self):
+        plan = FaultPlan(faults=(
+            LinkFault(kind="ib", bandwidth_factor=0.5, latency_add_s=1e-5),))
+        cluster = Cluster(Environment(), LASSEN, num_nodes=2)
+        cluster.apply_fault_injector(FaultInjector(plan))
+        healthy = Cluster(Environment(), LASSEN, num_nodes=2)
+        a, b = cluster.gpu_ref(0), cluster.gpu_ref(4)  # cross-node: uses IB
+        ha, hb = healthy.gpu_ref(0), healthy.gpu_ref(4)
+        nbytes = 8 * 2**20
+        assert cluster.path_cost(a, b, nbytes) > healthy.path_cost(ha, hb, nbytes)
+
+    def test_flapping_alternates_half_periods(self):
+        plan = FaultPlan(faults=(
+            LinkFault(kind="ib", bandwidth_factor=0.5, flap_period_s=1.0),))
+        inj = FaultInjector(plan)
+        degraded, _ = inj.link_state("ib", 0.25)   # first half: down
+        healthy, _ = inj.link_state("ib", 0.75)    # second half: restored
+        degraded2, _ = inj.link_state("ib", 1.25)  # next cycle: down again
+        assert degraded == degraded2 == 0.5
+        assert healthy == 1.0
+        kinds = [e.kind for e in inj.trace]
+        assert "link-degraded" in kinds and "link-restored" in kinds
+
+    def test_unmatched_kind_untouched(self):
+        plan = FaultPlan(faults=(LinkFault(kind="ib", bandwidth_factor=0.1),))
+        inj = FaultInjector(plan)
+        assert inj.link_state("nvlink", 0.0) == (1.0, 0.0)
+
+
+class TestMessageFaults:
+    def test_lossy_link_retries_until_delivered(self):
+        """Moderate loss: the retry/backoff loop converges and the message
+        lands — chaos degrades timing, not correctness."""
+        plan = FaultPlan(seed=3, faults=(
+            MessageFault(src=0, dst=1, drop_prob=0.6),))
+        env, fabric, inj = make_fabric(
+            plan, retry=RetryPolicy(max_retries=20))
+        payload = np.arange(32, dtype=np.float32)
+        out = np.zeros(32, dtype=np.float32)
+        fabric.isend(0, 1, data=payload)
+        fabric.irecv(1, source=0, out=out)
+        env.run()
+        np.testing.assert_array_equal(out, payload)
+        assert inj.trace.count("msg-retry") >= 1
+        assert inj.trace.count("msg-timeout") == 0
+
+    def test_total_loss_raises_timeout_not_deadlock(self):
+        """A dead path must surface a typed error within the retry budget —
+        never hang the simulation."""
+        plan = FaultPlan(seed=3, faults=(
+            MessageFault(src=0, dst=1, drop_prob=1.0),))
+        retry = RetryPolicy(max_retries=3, ack_timeout_s=1e-4,
+                            base_backoff_s=1e-4)
+        env, fabric, inj = make_fabric(plan, retry=retry)
+        fabric.isend(0, 1, nbytes=256)
+        fabric.irecv(1, source=0, nbytes=256)
+        with pytest.raises(MpiTimeoutError):
+            env.run()
+        assert inj.trace.count("msg-retry") == retry.max_retries
+        assert inj.trace.count("msg-timeout") == 1
+        # all retries were spent before giving up
+        budget = sum(retry.ack_timeout_s + retry.backoff(k)
+                     for k in range(1, retry.max_retries + 1))
+        assert env.now >= budget
+
+    def test_delay_adds_wire_time(self):
+        delay = 0.05
+        plan = FaultPlan(faults=(MessageFault(delay_s=delay),))
+        env, fabric, _ = make_fabric(plan)
+        base_env, base_fabric, _ = make_fabric(None)
+        for e, f in ((env, fabric), (base_env, base_fabric)):
+            f.isend(0, 1, nbytes=1024)
+            f.irecv(1, source=0, nbytes=1024)
+            e.run()
+        assert env.now >= base_env.now + delay
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(base_backoff_s=1e-4, backoff_factor=2.0)
+        waits = [policy.backoff(k) for k in (1, 2, 3)]
+        assert waits == [1e-4, 2e-4, 4e-4]
+
+
+class TestRankFailure:
+    def test_shrink_policy_continues_on_survivors(self):
+        plan = FaultPlan(faults=(RankFailure(rank=1, time=0.5),))
+        trainer, inj = make_trainer(plan)
+        result = trainer.train(steps=4)
+        assert result.steps == 4
+        assert result.world_sizes[0] == 4
+        assert result.world_sizes[-1] == 3
+        assert trainer.active_ranks == [0, 2, 3]
+        assert trainer.replicas_in_sync()
+        assert inj.trace.count("ring-shrink") == 1
+
+    def test_abort_policy_raises_typed_error(self):
+        plan = FaultPlan(faults=(RankFailure(rank=1, time=0.5),))
+        trainer, inj = make_trainer(plan, steps_policy="abort", detect=0.05)
+        with pytest.raises(RankFailedError):
+            trainer.train(steps=4)
+        # detection is stamped within the configured timeout of the poll
+        abort = [e for e in inj.trace if e.kind == "abort"]
+        failed = [e for e in inj.trace if e.kind == "rank-failed"]
+        assert abort and failed
+        assert abort[0].time >= failed[0].time
+
+    def test_coordinator_abort_within_timeout(self):
+        inj = FaultInjector(FaultPlan(faults=(RankFailure(rank=0, time=1.0),)))
+        coord = FaultTolerantCoordinator(
+            range(2), policy=ResiliencePolicy.ABORT, detect_timeout_s=0.2,
+            injector=inj)
+        with pytest.raises(RankFailedError):
+            coord.poll(1.0)
+        abort = [e for e in inj.trace if e.kind == "abort"]
+        assert abort[0].time == pytest.approx(1.2)
+
+    def test_all_ranks_dead_raises(self):
+        inj = FaultInjector(FaultPlan(faults=(
+            RankFailure(rank=0, time=0.0), RankFailure(rank=1, time=0.0))))
+        coord = FaultTolerantCoordinator(range(2), injector=inj)
+        with pytest.raises(RankFailedError):
+            coord.poll(0.0)
+
+
+class TestZeroFaultIdentity:
+    def test_empty_plan_is_arithmetic_identity(self):
+        inj = FaultInjector(FaultPlan(seed=42))
+        assert inj.compute_factor(0, 1.0) == 1.0
+        assert inj.link_state("ib", 1.0) == (1.0, 0.0)
+        verdict = inj.message_verdict(0, 1, 1.0)
+        assert not verdict.drop and verdict.delay_s == 0.0
+        assert not inj.any_faults
+        assert len(inj.trace) == 0
+
+    def test_empty_plan_reproduces_baseline_exactly(self):
+        baseline, _ = make_trainer(None)
+        zero, _ = make_trainer(FaultPlan(seed=42))
+        r_base = baseline.train(steps=2)
+        r_zero = zero.train(steps=2)
+        assert r_zero.simulated_step_times == r_base.simulated_step_times
+        assert r_zero.losses == r_base.losses
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        """Identical seed + plan: byte-identical trace, identical timing."""
+        plan = FaultPlan(seed=9, faults=(
+            StragglerFault(rank=1, factor=1.7, duration=1.0),
+            JitterFault(sigma=0.1),
+            LinkFault(kind="ib", bandwidth_factor=0.5, flap_period_s=0.7),
+            RankFailure(rank=3, time=1.0),
+        ))
+        results = []
+        for _ in range(2):
+            trainer, inj = make_trainer(plan)
+            result = trainer.train(steps=4)
+            results.append((result.simulated_step_times,
+                            result.simulated_images_per_second,
+                            result.world_sizes,
+                            inj.trace.digest()))
+        assert results[0] == results[1]
+
+    def test_different_seed_different_drops(self):
+        def drops(seed):
+            inj = FaultInjector(FaultPlan(seed=seed, faults=(
+                MessageFault(drop_prob=0.5),)))
+            return [inj.message_verdict(0, 1, 0.0).drop for _ in range(32)]
+
+        assert drops(1) == drops(1)
+        assert drops(1) != drops(2)
+
+
+class TestRegcacheFaultChurn:
+    """Registration-cache behaviour under fault-induced invalidation: a
+    poisoned (stale) registration must never be reused as a hit."""
+
+    def make_cache(self, max_entries=4):
+        from repro.net.regcache import RegistrationCache
+
+        cache = RegistrationCache(max_entries=max_entries)
+        cache.begin_transaction()
+        return cache
+
+    def test_poisoned_entry_not_reused(self):
+        cache = self.make_cache()
+        cache.acquire(1, 4096)
+        cache.begin_transaction()
+        assert cache.acquire(1, 4096) == 0.0  # warm: a genuine hit
+        assert cache.hits == 1
+        cache.poison(1)
+        cache.begin_transaction()
+        cost = cache.acquire(1, 4096)
+        # stale entry: teardown + fresh registration, counted as a miss
+        assert cost == pytest.approx(
+            cache.cost.deregister_time(4096) + cache.cost.register_time(4096))
+        assert cache.hits == 1 and cache.misses == 2
+        assert cache.stats()["invalidations"] == 1
+        # once re-registered the entry is healthy again
+        cache.begin_transaction()
+        assert cache.acquire(1, 4096) == 0.0
+
+    def test_poison_uncached_buffer_is_noop(self):
+        cache = self.make_cache()
+        cache.poison(99)
+        assert cache.stats()["invalidations"] == 0
+
+    def test_invalidate_discards_poison(self):
+        cache = self.make_cache()
+        cache.acquire(1, 4096)
+        cache.poison(1)
+        assert cache.invalidate(1) > 0.0
+        cache.begin_transaction()
+        # fresh registration only — no stale-teardown double charge
+        assert cache.acquire(1, 4096) == pytest.approx(
+            cache.cost.register_time(4096))
+
+    def test_eviction_churn_clears_poison(self):
+        """A poisoned entry evicted by LRU churn must not resurrect as
+        stale state when its buffer id is registered again."""
+        cache = self.make_cache(max_entries=2)
+        cache.acquire(1, 4096)
+        cache.poison(1)
+        for buffer_id in (2, 3, 4):  # churn rank 1 out of the LRU
+            cache.begin_transaction()
+            cache.acquire(buffer_id, 4096)
+        assert cache.evictions >= 1
+        cache.begin_transaction()
+        cost = cache.acquire(1, 4096)
+        # registration plus the LRU eviction it forces — but no stale-entry
+        # teardown: the poison died with the eviction
+        assert cost == pytest.approx(
+            cache.cost.register_time(4096) + cache.cost.deregister_time(4096))
+        cache.begin_transaction()
+        assert cache.acquire(1, 4096) == 0.0  # and it hits again
+
+    def test_invalidate_all_flushes_everything(self):
+        cache = self.make_cache()
+        for buffer_id in (1, 2, 3):
+            cache.acquire(buffer_id, 8192)
+        time = cache.invalidate_all()
+        assert time == pytest.approx(3 * cache.cost.deregister_time(8192))
+        assert cache.stats()["entries"] == 0
+        assert cache.stats()["invalidations"] == 3
+        cache.begin_transaction()
+        assert cache.acquire(1, 8192) > 0.0  # cold again
+
+    def test_transport_flush_records_fault_event(self):
+        plan = FaultPlan(faults=(LinkFault(kind="ib", bandwidth_factor=0.9),))
+        cluster = Cluster(Environment(), LASSEN, num_nodes=2)
+        config = Mv2Config(mv2_visible_devices="all", registration_cache=True)
+        spec = WorldSpec(num_ranks=cluster.num_gpus,
+                         policy=SingletonDevicePolicy(), config=config)
+        ranks = build_world(cluster, spec)
+        inj = FaultInjector(plan)
+        transport = TransportModel(cluster, config, ranks, faults=inj)
+        assert transport.drop_registrations() >= 0.0
+        assert inj.trace.count("regcache-flush") == 1
+
+
+class TestDeadlockRegression:
+    def test_fault_stranded_recv_raises_deadlock(self):
+        """A recv waiting on a rank that died before sending must surface
+        DeadlockError from Environment.run(), not hang."""
+        inj = FaultInjector(FaultPlan(faults=(RankFailure(rank=0, time=0.0),)))
+        env, fabric, _ = make_fabric(None)
+
+        def survivor(env):
+            yield fabric.irecv(1, source=0, nbytes=256)
+
+        env.process(survivor(env))
+        if 0 not in inj.failed_ranks(env.now):  # dead rank never sends
+            fabric.isend(0, 1, nbytes=256)
+        with pytest.raises(DeadlockError):
+            env.run()

@@ -456,6 +456,86 @@ class TestConvProperties:
         )
 
 
+class TestFaultDeterminism:
+    """Identical seed + FaultPlan ⇒ byte-identical fault traces and timing,
+    for any plan hypothesis can dream up — even when the run fails."""
+
+    @given(
+        seed=st.integers(0, 2**31),
+        drop=st.floats(0.0, 0.9),
+        delay=st.floats(0.0, 1e-3),
+        sigma=st.floats(0.0, 0.5),
+    )
+    @FAST
+    def test_p2p_chaos_runs_are_reproducible(self, seed, drop, delay, sigma):
+        from repro.errors import MpiError
+        from repro.faults import (
+            FaultInjector, FaultPlan, JitterFault, MessageFault, RetryPolicy,
+        )
+        from repro.hardware import LASSEN, Cluster
+        from repro.mpi import Mv2Config, WorldSpec
+        from repro.mpi.p2p import P2PFabric
+        from repro.mpi.process import SingletonDevicePolicy, build_world
+        from repro.mpi.transports import TransportModel
+
+        faults = [JitterFault(sigma=sigma)] if sigma > 0 else []
+        if drop > 0 or delay > 0:
+            faults.append(MessageFault(drop_prob=drop, delay_s=delay))
+        plan = FaultPlan(seed=seed, faults=tuple(faults))
+
+        def run_once():
+            env = Environment()
+            cluster = Cluster(env, LASSEN, num_nodes=1)
+            config = Mv2Config(mv2_visible_devices="all",
+                               registration_cache=True)
+            spec = WorldSpec(num_ranks=4, policy=SingletonDevicePolicy(),
+                             config=config)
+            ranks = build_world(cluster, spec)
+            injector = FaultInjector(plan)
+            fabric = P2PFabric(TransportModel(
+                cluster, config, ranks, faults=injector,
+                retry=RetryPolicy(max_retries=6)))
+            for s, d in ((0, 1), (1, 2), (2, 3), (3, 0)):
+                fabric.isend(s, d, tag=s, nbytes=4096)
+                fabric.irecv(d, source=s, tag=s, nbytes=4096)
+            outcome = "ok"
+            try:
+                env.run()
+            except MpiError as exc:  # reproducible failures count too
+                outcome = f"{type(exc).__name__}"
+            factors = [injector.compute_factor(r, env.now, step=1)
+                       for r in range(4)]
+            return outcome, env.now, factors, injector.trace.to_json()
+
+        assert run_once() == run_once()
+
+    @given(seed=st.integers(0, 2**31), sigma=st.floats(0.0, 1.0))
+    @FAST
+    def test_compute_factor_bounds_and_determinism(self, seed, sigma):
+        from repro.faults import FaultInjector, FaultPlan, JitterFault
+
+        plan = FaultPlan(seed=seed, faults=(JitterFault(sigma=sigma),))
+        a = FaultInjector(plan).compute_factor(2, 0.0, step=5)
+        b = FaultInjector(plan).compute_factor(2, 0.0, step=5)
+        assert a == b
+        assert a >= 1.0  # faults only ever slow compute down
+
+    @given(seed=st.integers(0, 2**31))
+    @FAST
+    def test_plan_json_roundtrip_is_identity(self, seed):
+        from repro.faults import (
+            FaultPlan, LinkFault, MessageFault, RankFailure, StragglerFault,
+        )
+
+        plan = FaultPlan(seed=seed, faults=(
+            StragglerFault(rank=seed % 8, factor=1.0 + (seed % 5)),
+            LinkFault(kind="ib", bandwidth_factor=0.5),
+            MessageFault(drop_prob=(seed % 100) / 100.0, delay_s=1e-6),
+            RankFailure(rank=seed % 4, time=float(seed % 7)),
+        ))
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+
 class TestDataProperties:
     @given(seed=st.integers(0, 500))
     @FAST
