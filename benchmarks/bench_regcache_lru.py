@@ -1,0 +1,85 @@
+"""Registration-cache LRU micro-benchmark: per-op cost must be O(1).
+
+The cache keeps its entries in an ``OrderedDict`` of ``buffer_id -> extent``
+with ``move_to_end``/``popitem`` maintenance, so an ``acquire`` costs the
+same whether 1 000 or 64 000 registrations are resident.  This benchmark
+pins that: per-op time at high entry counts must stay within a small
+factor of the per-op time at low counts (a linear scan would blow the
+bound by ~64x).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.net.regcache import RegistrationCache
+
+SMALL = 1_000
+LARGE = 64_000
+OPS = 50_000
+
+
+def _loaded_cache(entries: int) -> RegistrationCache:
+    cache = RegistrationCache(max_entries=entries)
+    cache.begin_transaction()
+    for buffer_id in range(entries):
+        cache.acquire(buffer_id, 65536)
+    return cache
+
+def _hit_loop(cache: RegistrationCache, entries: int, ops: int) -> None:
+    # hits spread across the whole key range: every acquire is a dict probe
+    # plus a move_to_end, regardless of the resident count
+    step = max(1, entries // 97)
+    buffer_id = 0
+    for _ in range(ops):
+        cache.begin_transaction()
+        cache.acquire(buffer_id, 65536)
+        buffer_id = (buffer_id + step) % entries
+
+
+def _per_op_seconds(entries: int, ops: int = OPS) -> float:
+    cache = _loaded_cache(entries)
+    _hit_loop(cache, entries, ops // 10)  # warm the interpreter caches
+    t0 = time.perf_counter()
+    _hit_loop(cache, entries, ops)
+    return (time.perf_counter() - t0) / ops
+
+
+def test_regcache_hit_cost_flat_at_high_entry_counts(benchmark):
+    per_op_small = _per_op_seconds(SMALL)
+    per_op_large = benchmark.pedantic(
+        lambda: _per_op_seconds(LARGE), rounds=1, iterations=1
+    )
+    ratio = per_op_large / per_op_small
+    benchmark.extra_info.update(
+        {
+            "per_op_small_ns": per_op_small * 1e9,
+            "per_op_large_ns": per_op_large * 1e9,
+            "large_over_small": ratio,
+        }
+    )
+    # 64x more resident entries; O(1) bookkeeping keeps per-op cost flat.
+    # Allow generous jitter headroom — a linear scan would score >10x.
+    assert ratio < 3.0, (
+        f"per-op cost grew {ratio:.1f}x from {SMALL} to {LARGE} entries "
+        f"({per_op_small * 1e9:.0f}ns -> {per_op_large * 1e9:.0f}ns)"
+    )
+
+
+def test_regcache_eviction_cost_flat(benchmark):
+    """Steady-state miss+evict churn is O(1) per op too (popitem FIFO end)."""
+
+    def churn(entries: int, ops: int = 20_000) -> float:
+        cache = _loaded_cache(entries)
+        t0 = time.perf_counter()
+        for i in range(ops):
+            cache.begin_transaction()
+            # new buffer id -> miss -> insert -> evict the LRU entry
+            cache.acquire(entries + i, 65536)
+        return (time.perf_counter() - t0) / ops
+
+    small = churn(SMALL)
+    large = benchmark.pedantic(lambda: churn(LARGE), rounds=1, iterations=1)
+    ratio = large / small
+    benchmark.extra_info["large_over_small"] = ratio
+    assert ratio < 3.0, f"eviction cost grew {ratio:.1f}x with entry count"

@@ -2,17 +2,24 @@
 
 Thin wrappers over the library for the common reproduction workflows:
 
-* ``python -m repro scale --scenario MPI-Opt --gpus 4,32,512``
+* ``python -m repro scale --scenario MPI-Opt --gpus 4,32,512 --jobs 4``
 * ``python -m repro profile --gpus 4 --steps 100``
 * ``python -m repro table1``
 * ``python -m repro fig1``
 * ``python -m repro models``
+* ``python -m repro cache stats``
+
+``--profile`` (before the subcommand) wraps any of them in cProfile and
+prints the top cumulative-time entries; sweep results go through the
+on-disk result cache unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+from repro.perf import ResultCache, default_cache_dir, profiled_call
 
 from repro.core import (
     MPI_DEFAULT,
@@ -31,12 +38,17 @@ from repro.utils.tables import TextTable
 from repro.utils.units import format_bytes
 
 
+def _make_cache(args: argparse.Namespace) -> ResultCache:
+    return ResultCache(args.cache_dir, enabled=not args.no_cache)
+
+
 def cmd_scale(args: argparse.Namespace) -> int:
     scenario = scenario_by_name(args.scenario)
     gpu_counts = [int(g) for g in args.gpus.split(",")]
     study = ScalingStudy(scenario, StudyConfig(measure_steps=args.steps,
                                                model=args.model))
-    points = study.run(gpu_counts)
+    cache = _make_cache(args)
+    points = study.run(gpu_counts, jobs=args.jobs, cache=cache)
     table = TextTable(
         ["GPUs", "images/s", "efficiency", "step (ms)"],
         title=f"Scaling study — {scenario.name} ({args.model})",
@@ -47,6 +59,12 @@ def cmd_scale(args: argparse.Namespace) -> int:
             f"{p.step_time * 1e3:.1f}",
         )
     print(table.render())
+    if cache.enabled:
+        stats = cache.stats()
+        print(
+            f"result cache: {stats['hits']} hit(s), {stats['misses']} miss(es) "
+            f"({cache.directory})"
+        )
     return 0
 
 
@@ -94,6 +112,17 @@ def cmd_models(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+    else:
+        print(f"cache directory: {cache.directory}")
+        print(f"entries: {cache.entry_count()}")
+    return 0
+
+
 def cmd_diagnose(args: argparse.Namespace) -> int:
     report = OptimizationPipeline(num_gpus=args.gpus, steps=args.steps).run()
     print(report.table())
@@ -107,6 +136,14 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="wrap the subcommand in cProfile and print the top entries",
+    )
+    parser.add_argument(
+        "--profile-out", default="repro-profile.pstats",
+        help="pstats dump path for --profile",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     scale = sub.add_parser("scale", help="run a scaling study")
@@ -115,6 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--gpus", default="4,16,64")
     scale.add_argument("--steps", type=int, default=2)
     scale.add_argument("--model", default="edsr-paper")
+    scale.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for independent sweep points")
+    scale.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+    scale.add_argument("--cache-dir", default=None,
+                       help=f"result cache directory (default {default_cache_dir()})")
     scale.set_defaults(func=cmd_scale)
 
     profile = sub.add_parser("profile", help="hvprof default vs MPI-Opt")
@@ -135,12 +178,23 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--gpus", type=int, default=4)
     diagnose.add_argument("--steps", type=int, default=10)
     diagnose.set_defaults(func=cmd_diagnose)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("cache_command", choices=["stats", "clear"],
+                       nargs="?", default="stats")
+    cache.add_argument("--cache-dir", default=None)
+    cache.set_defaults(func=cmd_cache)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.profile:
+        code, report = profiled_call(args.func, args, out_path=args.profile_out)
+        print(report)
+        print(f"profile written to {args.profile_out}")
+        return code
     return args.func(args)
 
 

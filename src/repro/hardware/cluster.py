@@ -17,7 +17,9 @@ from dataclasses import replace
 from typing import Generator
 
 from repro.errors import HardwareError
+from repro.perf import flags as perf_flags
 from repro.sim.engine import Environment
+from repro.sim.resources import try_acquire_all
 from repro.hardware.links import Link, LinkKind
 from repro.hardware.node import DeviceKind, DeviceRef, Node
 from repro.hardware.specs import ClusterSpec
@@ -48,6 +50,13 @@ class Cluster:
             Link(env, ib_spec, LinkKind.IB, node.hca_ref, CORE) for node in self.nodes
         ]
         self.fault_injector = None
+        # Topology is immutable after construction: memoize routes and the
+        # (sum-of-alphas, bottleneck-bandwidth) pair per endpoint pair.
+        # path_cost/route are the hottest calls of an analytic sweep.
+        self._route_cache: dict[
+            tuple[DeviceRef, DeviceRef], list[tuple[Link, object, object]]
+        ] = {}
+        self._path_cache: dict[tuple[DeviceRef, DeviceRef], tuple[float, float]] = {}
 
     def apply_fault_injector(self, injector) -> None:
         """Register a :class:`~repro.faults.FaultInjector` on every link so
@@ -101,7 +110,21 @@ class Cluster:
 
     # -- routing -----------------------------------------------------------
     def route(self, src: DeviceRef, dst: DeviceRef) -> list[tuple[Link, object, object]]:
-        """Return the hop list [(link, from, to), ...] from src to dst."""
+        """Return the hop list [(link, from, to), ...] from src to dst.
+
+        Memoized (the fabric is fixed); callers must treat the returned
+        list as read-only.
+        """
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        hops = self._route_uncached(src, dst)
+        self._route_cache[(src, dst)] = hops
+        return hops
+
+    def _route_uncached(
+        self, src: DeviceRef, dst: DeviceRef
+    ) -> list[tuple[Link, object, object]]:
         if src == dst:
             return []
         if src.node == dst.node:
@@ -131,10 +154,10 @@ class Cluster:
 
     def path_cost(self, src: DeviceRef, dst: DeviceRef, nbytes: int) -> float:
         """Uncontended pipelined transfer time along the route."""
-        hops = self.route(src, dst)
-        if not hops:
-            return 0.0
         if self.fault_injector is not None:
+            hops = self.route(src, dst)
+            if not hops:
+                return 0.0
             now = self.env.now
             alpha = 0.0
             bottleneck = float("inf")
@@ -143,8 +166,21 @@ class Cluster:
                 alpha += link.spec.latency_s + extra
                 bottleneck = min(bottleneck, link.spec.bandwidth * bw_factor)
             return alpha + nbytes / bottleneck
-        alpha = sum(link.spec.latency_s for link, _, _ in hops)
-        bottleneck = min(link.spec.bandwidth for link, _, _ in hops)
+        # fault-free route constants are immutable: compute (alpha, B) once
+        constants = self._path_cache.get((src, dst))
+        if constants is None:
+            hops = self.route(src, dst)
+            if not hops:
+                constants = (0.0, float("inf"))
+            else:
+                constants = (
+                    sum(link.spec.latency_s for link, _, _ in hops),
+                    min(link.spec.bandwidth for link, _, _ in hops),
+                )
+            self._path_cache[(src, dst)] = constants
+        alpha, bottleneck = constants
+        if bottleneck == float("inf"):
+            return 0.0
         return alpha + nbytes / bottleneck
 
     def path_bandwidth(self, src: DeviceRef, dst: DeviceRef) -> float:
@@ -163,11 +199,26 @@ class Cluster:
         if not hops:
             return
         duration = self.path_cost(src, dst, nbytes)
+        channels = [link.channel(frm, to) for link, frm, to in hops]
+        if perf_flags.link_fastpath and try_acquire_all(channels):
+            # Uncontended fast path: the whole route was free, so per-hop
+            # request/grant events would all fire immediately — collapse
+            # them into the single timed event.  Channels are genuinely
+            # held, so concurrent flows queue exactly as on the slow path.
+            try:
+                yield self.env.timeout(duration)
+                for link, _, _ in hops:
+                    link.bytes_carried += nbytes
+                    link.transfer_count += 1
+            finally:
+                for channel in reversed(channels):
+                    channel.release()
+            return
         held = []
         try:
-            for link, frm, to in hops:
-                yield link.channel(frm, to).request()
-                held.append(link.channel(frm, to))
+            for channel in channels:
+                yield channel.request()
+                held.append(channel)
             yield self.env.timeout(duration)
             for link, _, _ in hops:
                 link.bytes_carried += nbytes

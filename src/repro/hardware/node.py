@@ -63,6 +63,9 @@ class Node:
         self._adjacency: dict[DeviceRef, list[Link]] = {
             ref: [] for ref in (*self.gpu_refs, *self.cpu_refs, self.hca_ref)
         }
+        # the wiring is fixed at construction, so shortest routes are too:
+        # memoize them (route() dominates large analytic sweeps otherwise)
+        self._route_cache: dict[tuple[DeviceRef, DeviceRef], list[Link]] = {}
         self._wire()
 
     # -- wiring -----------------------------------------------------------
@@ -104,7 +107,19 @@ class Node:
         return None
 
     def route(self, src: DeviceRef, dst: DeviceRef) -> list[Link]:
-        """Shortest intra-node route (BFS over the small device graph)."""
+        """Shortest intra-node route (BFS over the small device graph).
+
+        Memoized: the device graph never changes after ``_wire``.  Callers
+        must treat the returned list as read-only.
+        """
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        route = self._route_uncached(src, dst)
+        self._route_cache[(src, dst)] = route
+        return route
+
+    def _route_uncached(self, src: DeviceRef, dst: DeviceRef) -> list[Link]:
         if src == dst:
             return []
         if src not in self._adjacency or dst not in self._adjacency:

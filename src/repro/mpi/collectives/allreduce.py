@@ -25,7 +25,38 @@ from repro.mpi.collectives.base import (
     chunk_sizes,
     is_power_of_two,
 )
+from repro.perf import flags as perf_flags
 from repro.utils.units import KIB
+
+# Step-schedule memo: a schedule is pure data determined by (algorithm,
+# rank list, message size, buffer ids[, node grouping]), and Horovod issues
+# the same allreduce shape every training step — so plans are built once
+# and reused instead of being reconstructed per call.  Schedules are
+# immutable after construction (lists of frozen PairTransfers that the
+# costers only read), which is what makes sharing them safe.
+_SCHEDULE_CACHE: dict[tuple, object] = {}
+_SCHEDULE_CACHE_MAX = 512
+
+
+def clear_schedule_cache() -> None:
+    _SCHEDULE_CACHE.clear()
+
+
+def _memoized(key: tuple, builder):
+    if not perf_flags.schedule_memo:
+        return builder()
+    hit = _SCHEDULE_CACHE.get(key)
+    if hit is None:
+        if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_MAX:
+            # FIFO eviction is enough: the working set per study is tiny
+            _SCHEDULE_CACHE.pop(next(iter(_SCHEDULE_CACHE)))
+        hit = builder()
+        _SCHEDULE_CACHE[key] = hit
+    return hit
+
+
+def _bids_key(buffer_ids: dict[int, int] | None) -> tuple | None:
+    return tuple(sorted(buffer_ids.items())) if buffer_ids else None
 
 
 def select_allreduce_algorithm(
@@ -174,6 +205,32 @@ def _binomial_bcast_steps(
     ]
 
 
+def _hierarchical_intra_steps(
+    groups: list[list[int]], nbytes: int, buffer_ids: dict[int, int] | None
+) -> tuple[list[list[PairTransfer]], list[list[PairTransfer]]]:
+    """Merged intra-node (reduce, bcast) schedules for all node groups.
+
+    Intra-node phases run concurrently across nodes, so per-node binomial
+    schedules merge step-by-step.  Each group's schedule is built once and
+    indexed per depth (the depth loop used to rebuild it quadratically).
+    """
+    reduce_per_group = [_binomial_reduce_steps(g, nbytes, buffer_ids) for g in groups]
+    bcast_per_group = [_binomial_bcast_steps(g, nbytes, buffer_ids) for g in groups]
+
+    def merge(per_group: list[list[list[PairTransfer]]]) -> list[list[PairTransfer]]:
+        merged_steps = []
+        for depth in range(max((len(s) for s in per_group), default=0)):
+            merged: list[PairTransfer] = []
+            for steps in per_group:
+                if depth < len(steps):
+                    merged.extend(steps[depth])
+            if merged:
+                merged_steps.append(merged)
+        return merged_steps
+
+    return merge(reduce_per_group), merge(bcast_per_group)
+
+
 def allreduce_timing(
     coster: StepCoster,
     ranks: list[int],
@@ -194,8 +251,13 @@ def allreduce_timing(
         return CollectiveTiming("allreduce", algorithm, nbytes, p, 0.0, coster.mode)
 
     segments: dict[str, float] = {}
+    rank_key = tuple(ranks)
+    bid_key = _bids_key(buffer_ids)
     if algorithm == "ring":
-        rs, ag = _ring_steps(ranks, nbytes, buffer_ids)
+        rs, ag = _memoized(
+            ("ring", rank_key, nbytes, bid_key),
+            lambda: _ring_steps(ranks, nbytes, buffer_ids),
+        )
         segments["reduce_scatter"] = coster.run_steps(rs, reduce_after=True)
         segments["allgather"] = coster.run_steps(ag, reduce_after=False)
     elif algorithm == "recursive_doubling":
@@ -203,14 +265,20 @@ def allreduce_timing(
             return allreduce_timing(
                 coster, ranks, nbytes, buffer_ids=buffer_ids, algorithm="ring"
             )
-        steps = _recursive_doubling_steps(ranks, nbytes, buffer_ids)
+        steps = _memoized(
+            ("rd", rank_key, nbytes, bid_key),
+            lambda: _recursive_doubling_steps(ranks, nbytes, buffer_ids),
+        )
         segments["exchange"] = coster.run_steps(steps, reduce_after=True)
     elif algorithm == "reduce_scatter_allgather":
         if not is_power_of_two(p):
             return allreduce_timing(
                 coster, ranks, nbytes, buffer_ids=buffer_ids, algorithm="ring"
             )
-        rs, ag = _halving_doubling_steps(ranks, nbytes, buffer_ids)
+        rs, ag = _memoized(
+            ("rsag", rank_key, nbytes, bid_key),
+            lambda: _halving_doubling_steps(ranks, nbytes, buffer_ids),
+        )
         segments["reduce_scatter"] = coster.run_steps(rs, reduce_after=True)
         segments["allgather"] = coster.run_steps(ag, reduce_after=False)
     elif algorithm == "hierarchical":
@@ -218,32 +286,18 @@ def allreduce_timing(
         for r in ranks:
             by_node.setdefault(node_of[r], []).append(r)
         groups = [sorted(g) for _, g in sorted(by_node.items())]
+        group_key = tuple(tuple(g) for g in groups)
         leaders = [g[0] for g in groups]
-        intra_reduce: list[list[PairTransfer]] = []
-        intra_bcast: list[list[PairTransfer]] = []
-        # Intra-node phases run concurrently across nodes: merge per-node
-        # schedules step-by-step.
-        max_depth_r = max((len(_binomial_reduce_steps(g, nbytes, buffer_ids)) for g in groups), default=0)
-        for depth in range(max_depth_r):
-            merged: list[PairTransfer] = []
-            for g in groups:
-                steps = _binomial_reduce_steps(g, nbytes, buffer_ids)
-                if depth < len(steps):
-                    merged.extend(steps[depth])
-            if merged:
-                intra_reduce.append(merged)
-        max_depth_b = max((len(_binomial_bcast_steps(g, nbytes, buffer_ids)) for g in groups), default=0)
-        for depth in range(max_depth_b):
-            merged = []
-            for g in groups:
-                steps = _binomial_bcast_steps(g, nbytes, buffer_ids)
-                if depth < len(steps):
-                    merged.extend(steps[depth])
-            if merged:
-                intra_bcast.append(merged)
+        intra_reduce, intra_bcast = _memoized(
+            ("hier-intra", group_key, nbytes, bid_key),
+            lambda: _hierarchical_intra_steps(groups, nbytes, buffer_ids),
+        )
         segments["intra_reduce"] = coster.run_steps(intra_reduce, reduce_after=True)
         if len(leaders) > 1:
-            rs, ag = _ring_steps(leaders, nbytes, buffer_ids)
+            rs, ag = _memoized(
+                ("ring", tuple(leaders), nbytes, bid_key),
+                lambda: _ring_steps(leaders, nbytes, buffer_ids),
+            )
             segments["inter_reduce_scatter"] = coster.run_steps(rs, reduce_after=True)
             segments["inter_allgather"] = coster.run_steps(ag, reduce_after=False)
         segments["intra_bcast"] = coster.run_steps(intra_bcast, reduce_after=False)

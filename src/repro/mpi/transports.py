@@ -39,7 +39,8 @@ from repro.mpi.env import Mv2Config
 from repro.mpi.process import RankContext
 from repro.net.infiniband import IbTransferModel
 from repro.net.regcache import RegistrationCache
-from repro.sim.resources import Resource
+from repro.perf import flags as perf_flags
+from repro.sim.resources import Resource, try_acquire_all
 from repro.utils.units import MIB
 
 
@@ -349,11 +350,27 @@ class TransportModel:
             # claim every hop of the route for the (possibly protocol-capped)
             # wire duration so contention is simulated
             hops = self.cluster.route(a.device_ref, b.device_ref)
+            channels = [link.channel(frm, to) for link, frm, to in hops]
+            if perf_flags.link_fastpath and try_acquire_all(channels):
+                # Uncontended-link fast path: no other flow shares any hop
+                # right now, so the per-hop request/grant events collapse
+                # into one timed event.  The channels stay held for the
+                # wire duration, so any flow arriving meanwhile queues
+                # exactly as it would on the slow path below.
+                try:
+                    yield env.timeout(breakdown.wire)
+                    for link, _, _ in hops:
+                        link.bytes_carried += nbytes
+                        link.transfer_count += 1
+                finally:
+                    for channel in reversed(channels):
+                        channel.release()
+                return kind
             held = []
             try:
-                for link, frm, to in hops:
-                    yield link.channel(frm, to).request()
-                    held.append(link.channel(frm, to))
+                for channel in channels:
+                    yield channel.request()
+                    held.append(channel)
                 yield env.timeout(breakdown.wire)
                 for link, _, _ in hops:
                     link.bytes_carried += nbytes

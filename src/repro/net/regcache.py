@@ -41,17 +41,18 @@ class RegistrationCostModel:
         return self.deregister_base_s + self.pages(nbytes) * self.deregister_per_page_s
 
 
-@dataclass
-class _Entry:
-    nbytes: int
-
-
 class RegistrationCache:
     """LRU registration cache with hit/miss statistics.
 
     ``enabled=False`` models the legacy MVAPICH2-GDR behaviour the paper
     describes (cache disabled because TensorFlow's custom allocator breaks
     it): every zero-copy transfer pays register + deregister.
+
+    Bookkeeping is O(1) per operation: entries live in an ``OrderedDict``
+    mapping ``buffer_id`` to its registered extent (a plain ``int``, no
+    per-entry wrapper object), with ``move_to_end``/``popitem`` providing
+    constant-time LRU maintenance.  ``benchmarks/bench_regcache_lru.py``
+    pins the flat per-op cost at high entry counts.
     """
 
     def __init__(
@@ -66,7 +67,8 @@ class RegistrationCache:
         self.cost = cost_model or RegistrationCostModel()
         self.enabled = enabled
         self.max_entries = max_entries
-        self._entries: OrderedDict[int, _Entry] = OrderedDict()
+        #: buffer_id -> registered extent in bytes (LRU order)
+        self._entries: OrderedDict[int, int] = OrderedDict()
         self._txn: set[int] = set()
         self._poisoned: set[int] = set()
         self.hits = 0
@@ -98,51 +100,53 @@ class RegistrationCache:
             return self.cost.register_time(nbytes) + self.cost.deregister_time(nbytes)
         # statistics are per (call, buffer) — chunk re-uses within one call
         # are not separate cache lookups
+        entries = self._entries
         count_stats = buffer_id not in self._txn
         self._txn.add(buffer_id)
-        entry = self._entries.get(buffer_id)
-        if buffer_id in self._poisoned:
+        reg_bytes = entries.get(buffer_id)
+        if self._poisoned and buffer_id in self._poisoned:
             # stale registration (HCA reset / fault-induced remap): the MTT
             # entries may point at reclaimed pages, so the cached entry must
             # NOT be reused — tear it down and re-register from scratch
             self._poisoned.discard(buffer_id)
-            if entry is not None:
-                del self._entries[buffer_id]
-                self._entries[buffer_id] = _Entry(nbytes)
+            if reg_bytes is not None:
+                del entries[buffer_id]
+                entries[buffer_id] = nbytes
                 if count_stats:
                     self.misses += 1
                 return (
-                    self.cost.deregister_time(entry.nbytes)
+                    self.cost.deregister_time(reg_bytes)
                     + self.cost.register_time(nbytes)
                 )
-            entry = None
-        if entry is not None and entry.nbytes >= nbytes:
-            self._entries.move_to_end(buffer_id)
+        # hit fast path (the ~93% case at steady state): already registered
+        # at sufficient extent — one dict probe plus an O(1) move_to_end
+        elif reg_bytes is not None and reg_bytes >= nbytes:
+            entries.move_to_end(buffer_id)
             if count_stats:
                 self.hits += 1
             return 0.0
         if count_stats:
             self.misses += 1
         time = self.cost.register_time(nbytes)
-        if entry is not None:
+        if reg_bytes is not None:
             # re-registration at larger extent: drop the old pinning
-            time += self.cost.deregister_time(entry.nbytes)
-            del self._entries[buffer_id]
-        self._entries[buffer_id] = _Entry(nbytes)
-        while len(self._entries) > self.max_entries:
-            _, evicted = self._entries.popitem(last=False)
+            time += self.cost.deregister_time(reg_bytes)
+            del entries[buffer_id]
+        entries[buffer_id] = nbytes
+        while len(entries) > self.max_entries:
+            _, evicted_bytes = entries.popitem(last=False)
             self.evictions += 1
-            time += self.cost.deregister_time(evicted.nbytes)
+            time += self.cost.deregister_time(evicted_bytes)
         return time
 
     def invalidate(self, buffer_id: int) -> float:
         """Buffer freed: deregistration cost if it was cached."""
         self._poisoned.discard(buffer_id)
-        entry = self._entries.pop(buffer_id, None)
-        if entry is None:
+        reg_bytes = self._entries.pop(buffer_id, None)
+        if reg_bytes is None:
             return 0.0
         self.invalidations += 1
-        return self.cost.deregister_time(entry.nbytes)
+        return self.cost.deregister_time(reg_bytes)
 
     def poison(self, buffer_id: int) -> None:
         """Mark a cached registration stale without removing it.
@@ -159,7 +163,7 @@ class RegistrationCache:
         """Flush every registration (fault recovery); returns total
         deregistration cost charged."""
         time = sum(
-            self.cost.deregister_time(e.nbytes) for e in self._entries.values()
+            self.cost.deregister_time(nbytes) for nbytes in self._entries.values()
         )
         self.invalidations += len(self._entries)
         self._entries.clear()

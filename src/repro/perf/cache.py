@@ -1,0 +1,125 @@
+"""Content-addressed on-disk result cache.
+
+Entries are JSON payloads stored one-file-per-digest under a cache
+directory (default ``~/.cache/repro-perf``, overridable via
+``REPRO_PERF_CACHE_DIR`` or the constructor).  The digest — produced by
+:mod:`repro.perf.digest` — is the whole key: a hit can only ever return a
+payload produced by an identical configuration under the same code-version
+salt, which is what makes cached sweep points byte-identical to freshly
+simulated ones.
+
+Invalidation is explicit: :meth:`ResultCache.clear` wipes the directory,
+and bumping :data:`~repro.perf.digest.CACHE_VERSION_SALT` orphans every
+old entry (they simply stop being addressed).  ``enabled=False`` (the
+CLI's ``--no-cache``) turns both lookup and insert into no-ops.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+from repro.errors import ConfigError
+
+_DIGEST_CHARS = set("0123456789abcdef")
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get("REPRO_PERF_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-perf")
+
+
+class ResultCache:
+    """Digest-keyed JSON store with hit/miss statistics."""
+
+    def __init__(self, directory: str | None = None, *, enabled: bool = True):
+        self.directory = directory or default_cache_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+
+    def _path(self, digest: str) -> str:
+        if len(digest) != 64 or not set(digest) <= _DIGEST_CHARS:
+            raise ConfigError(f"malformed cache digest {digest!r}")
+        return os.path.join(self.directory, f"{digest}.json")
+
+    def get(self, digest: str) -> Any | None:
+        """Return the cached payload for ``digest``, or ``None`` on miss."""
+        if not self.enabled:
+            return None
+        path = self._path(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            # a torn write from a crashed process counts as a miss and is
+            # overwritten by the next put
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, digest: str, payload: Any) -> None:
+        """Store ``payload`` under ``digest`` (atomic rename, last wins)."""
+        if not self.enabled:
+            return
+        path = self._path(digest)
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.inserts += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return 0
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def entry_count(self) -> int:
+        try:
+            return sum(
+                1 for n in os.listdir(self.directory)
+                if n.endswith(".json") and not n.startswith(".tmp-")
+            )
+        except FileNotFoundError:
+            return 0
+
+    def stats(self) -> dict[str, int | float]:
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "inserts": self.inserts,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "entries": self.entry_count(),
+        }
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"<ResultCache {self.directory!r} {state} {self.stats()}>"

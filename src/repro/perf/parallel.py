@@ -1,0 +1,135 @@
+"""Parallel sweep runner: independent points across worker processes.
+
+A scaling sweep is a bag of independent (scenario, gpu_count) simulations;
+this module fans them out over a :class:`~concurrent.futures.
+ProcessPoolExecutor` and merges results deterministically (submission
+order — worker completion order never leaks into the output).
+
+The result cache is consulted and populated in the *parent* process only:
+workers stay cache-blind, so there are no cross-process file races and a
+warm cache short-circuits before any worker spawns.
+
+Imports of :mod:`repro.core` are deferred into the functions — the study
+module imports this one for ``ScalingStudy.run(jobs=...)``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.study import ScalingPoint, StudyConfig
+    from repro.perf.cache import ResultCache
+
+
+@dataclass(frozen=True)
+class PointJob:
+    """One sweep point, addressed by scenario *name* (cheap to pickle)."""
+
+    scenario: str
+    num_gpus: int
+    config: "StudyConfig"
+
+
+def _execute(job: PointJob) -> "ScalingPoint":
+    """Worker entry point (module level so it pickles under spawn)."""
+    from repro.core.scenarios import scenario_by_name
+    from repro.core.study import ScalingStudy
+
+    study = ScalingStudy(scenario_by_name(job.scenario), job.config)
+    return study.run_point(job.num_gpus)
+
+
+def default_jobs() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def run_point_jobs(
+    jobs: Sequence[PointJob],
+    *,
+    workers: int | None = None,
+    cache: "ResultCache | None" = None,
+) -> list["ScalingPoint"]:
+    """Run every job; returns results in input order.
+
+    ``workers=1`` (or a single job) runs inline — same code path the
+    equivalence tests compare against, no pool overhead.
+    """
+    from repro.core.scenarios import scenario_by_name
+    from repro.core.study import ScalingStudy
+
+    workers = default_jobs() if workers is None else workers
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+
+    results: dict[int, "ScalingPoint"] = {}
+    pending: list[tuple[int, PointJob]] = []
+    digests: dict[int, str] = {}
+    for i, job in enumerate(jobs):
+        if cache is not None and cache.enabled:
+            study = ScalingStudy(scenario_by_name(job.scenario), job.config)
+            digest = study.point_digest(job.num_gpus)
+            digests[i] = digest
+            hit = cache.get(digest)
+            if hit is not None:
+                from repro.core.study import point_from_payload
+
+                results[i] = point_from_payload(hit)
+                continue
+        pending.append((i, job))
+
+    if pending:
+        if workers == 1 or len(pending) == 1:
+            computed = [_execute(job) for _, job in pending]
+        else:
+            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                computed = list(pool.map(_execute, [job for _, job in pending]))
+        for (i, _job), point in zip(pending, computed):
+            results[i] = point
+            if cache is not None and cache.enabled:
+                from repro.core.study import point_payload
+
+                cache.put(digests[i], point_payload(point))
+
+    return [results[i] for i in range(len(jobs))]
+
+
+def run_scenario_sweeps(
+    scenario_names: Sequence[str],
+    gpu_counts: Sequence[int],
+    config: "StudyConfig",
+    *,
+    workers: int | None = None,
+    cache: "ResultCache | None" = None,
+) -> dict[str, list["ScalingPoint"]]:
+    """Full cross product (scenario x gpu_count) through one worker pool.
+
+    Efficiency is attached per scenario exactly as
+    :meth:`~repro.core.study.ScalingStudy.run` does, so figure-level
+    assertions hold on the merged output.
+    """
+    from repro.core.scenarios import scenario_by_name
+    from repro.core.study import ScalingStudy
+
+    jobs = [
+        PointJob(name, gpus, config)
+        for name in scenario_names
+        for gpus in gpu_counts
+    ]
+    flat = run_point_jobs(jobs, workers=workers, cache=cache)
+    out: dict[str, list["ScalingPoint"]] = {}
+    i = 0
+    for name in scenario_names:
+        study = ScalingStudy(scenario_by_name(name), config)
+        base = study.single_gpu_rate()
+        points = flat[i : i + len(gpu_counts)]
+        i += len(gpu_counts)
+        for point in points:
+            point.efficiency = point.images_per_second / (point.num_gpus * base)
+        out[name] = points
+    return out

@@ -1,0 +1,41 @@
+"""First-class cProfile wrapping for the CLI.
+
+``python -m repro --profile <subcommand> ...`` routes the subcommand
+through :func:`profiled_call`, which writes a binary pstats dump (loadable
+with ``python -m pstats`` or snakeviz) and prints the top-N functions by
+cumulative time — so every future perf PR starts from a profile instead of
+a guess.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable
+
+
+def profiled_call(
+    func: Callable[..., Any],
+    *args,
+    out_path: str = "repro-profile.pstats",
+    top: int = 25,
+    **kwargs,
+) -> tuple[Any, str]:
+    """Run ``func`` under cProfile; returns (result, report text)."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = func(*args, **kwargs)
+    finally:
+        profiler.disable()
+    profiler.dump_stats(out_path)
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative")
+    stats.print_stats(top)
+    report = (
+        f"[profile] pstats dump written to {out_path}\n"
+        f"[profile] top {top} by cumulative time:\n{buf.getvalue()}"
+    )
+    return result, report

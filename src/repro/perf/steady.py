@@ -1,0 +1,68 @@
+"""Steady-state detection over per-step times.
+
+Training steps are identical in performance mode up to the per-step
+gradient jitter, so once the measured step time has converged the
+remaining steps carry no information — simulating them only burns wall
+clock.  The detector watches a sliding window of measured step times and
+declares steady state when the window's relative spread falls inside a
+tolerance; the run then *extrapolates* the remaining steps at the window
+mean instead of simulating them.
+
+Accuracy: with zero jitter the steps differ only by ulp-level float
+accumulation noise (cumulative staging counters), so detection fires at
+any tolerance down to ~1e-15 and the extrapolated mean matches a full
+simulation to ~1e-15 relative — the equivalence tests pin that bound.
+With jitter enabled the spread stays well above the default tolerance, so
+detection never fires unless the caller widens ``rel_tol`` — in which
+case the error is bounded by the tolerance (see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class SteadyStateDetector:
+    """Declares convergence when a window of samples agrees within tol."""
+
+    def __init__(self, window: int = 3, rel_tol: float = 1e-9):
+        if window < 2:
+            raise ConfigError(f"steady-state window must be >= 2, got {window}")
+        if rel_tol < 0:
+            raise ConfigError(f"rel_tol must be >= 0, got {rel_tol}")
+        self.window = window
+        self.rel_tol = rel_tol
+        self._samples: list[float] = []
+
+    def observe(self, sample: float) -> None:
+        self._samples.append(sample)
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    def converged(self) -> bool:
+        """True once the last ``window`` samples agree within ``rel_tol``."""
+        if len(self._samples) < self.window:
+            return False
+        tail = self._samples[-self.window:]
+        lo, hi = min(tail), max(tail)
+        if hi == lo:
+            return True
+        mean = sum(tail) / len(tail)
+        if mean == 0.0:
+            return False
+        return (hi - lo) / mean <= self.rel_tol
+
+    def steady_value(self) -> float:
+        """The extrapolation value: mean of the converged window.
+
+        When every sample in the window is bit-identical this returns
+        that exact value rather than re-deriving it through a division.
+        """
+        if not self._samples:
+            raise ConfigError("no samples observed")
+        tail = self._samples[-self.window:]
+        if all(s == tail[0] for s in tail):
+            return tail[0]
+        return sum(tail) / len(tail)

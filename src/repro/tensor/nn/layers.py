@@ -41,10 +41,20 @@ class Conv2d(Module):
             name="weight",
         )
         self.bias = Parameter(init.zeros((out_channels,)), name="bias") if bias else None
+        # Per-layer im2col scratch: shapes repeat every step, so the patch
+        # matrix is written in place instead of reallocated.  Per-layer
+        # ownership keeps deferred backward closures valid (each layer has
+        # one forward/backward in flight; see ConvWorkspace).
+        self._workspace = F.ConvWorkspace()
 
     def forward(self, x: Tensor) -> Tensor:
         return F.conv2d(
-            x, self.weight, self.bias, stride=self.stride, padding=self.padding
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            workspace=self._workspace,
         )
 
 

@@ -25,7 +25,7 @@ from repro.tensor.ops.basic import (
     clip,
 )
 from repro.tensor.ops.activations import relu, leaky_relu, sigmoid, tanh, softmax
-from repro.tensor.ops.conv import conv2d, pad2d, pixel_shuffle
+from repro.tensor.ops.conv import ConvWorkspace, conv2d, pad2d, pixel_shuffle
 from repro.tensor.ops.pooling import avg_pool2d, max_pool2d, global_avg_pool2d
 from repro.tensor.ops.loss import l1_loss, mse_loss, cross_entropy
 
@@ -33,7 +33,7 @@ __all__ = [
     "add", "sub", "mul", "div", "neg", "pow_", "matmul", "sum_", "mean",
     "reshape", "transpose", "concatenate", "exp", "log", "sqrt", "abs_", "clip",
     "relu", "leaky_relu", "sigmoid", "tanh", "softmax",
-    "conv2d", "pad2d", "pixel_shuffle",
+    "ConvWorkspace", "conv2d", "pad2d", "pixel_shuffle",
     "avg_pool2d", "max_pool2d", "global_avg_pool2d",
     "l1_loss", "mse_loss", "cross_entropy",
 ]

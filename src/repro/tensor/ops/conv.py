@@ -15,8 +15,48 @@ from repro.errors import ShapeError
 from repro.tensor.tensor import Tensor, as_tensor, collect_parents, result_requires_grad
 
 
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
-    """(N, C, H, W) -> (N, out_h, out_w, C*kh*kw) patch matrix (view-based)."""
+class ConvWorkspace:
+    """Reusable im2col scratch buffers, keyed by (shape, dtype).
+
+    The im2col patch matrix is the largest allocation of a conv layer's
+    forward pass and its shape is fixed across training steps, so each
+    :class:`~repro.tensor.nn.layers.Conv2d` owns one workspace and the
+    buffer is allocated once and rewritten in place every step.
+
+    Validity condition: the buffer is overwritten by the next forward
+    call, and the backward closure reads it for the weight gradient — so
+    a workspace-backed layer supports **one forward/backward in flight at
+    a time** (the training pattern).  Layers never share a workspace.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[tuple[int, ...], np.dtype], np.ndarray] = {}
+
+    def buffer(self, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        key = (shape, np.dtype(dtype))
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+
+def _im2col(
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    workspace: ConvWorkspace | None = None,
+) -> tuple[np.ndarray, int, int]:
+    """(N, C, H, W) -> (N, out_h, out_w, C*kh*kw) patch matrix.
+
+    With a workspace the patch copy lands in a reused buffer instead of a
+    fresh allocation (the gather itself is unavoidable: the GEMM needs a
+    contiguous operand).
+    """
     n, c, h, w = x.shape
     out_h = (h - kh) // stride + 1
     out_w = (w - kw) // stride + 1
@@ -25,11 +65,12 @@ def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
     strides = (s0, s1, s2 * stride, s3 * stride, s2, s3)
     patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
     # -> (N, out_h, out_w, C, kh, kw) then flatten the window
-    return (
-        patches.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h, out_w, c * kh * kw),
-        out_h,
-        out_w,
-    )
+    windowed = patches.transpose(0, 2, 3, 1, 4, 5)
+    if workspace is None:
+        return windowed.reshape(n, out_h, out_w, c * kh * kw), out_h, out_w
+    out = workspace.buffer((n, out_h, out_w, c, kh, kw), x.dtype)
+    np.copyto(out, windowed)
+    return out.reshape(n, out_h, out_w, c * kh * kw), out_h, out_w
 
 
 def _col2im(
@@ -73,8 +114,20 @@ def pad2d(x, padding: int, value: float = 0.0) -> Tensor:
     return Tensor(out_data, True, _parents=collect_parents(x), _backward=backward)
 
 
-def conv2d(x, weight, bias=None, *, stride: int = 1, padding: int = 0) -> Tensor:
-    """2-D cross-correlation: x (N,C,H,W), weight (F,C,kh,kw), bias (F,)."""
+def conv2d(
+    x,
+    weight,
+    bias=None,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+    workspace: ConvWorkspace | None = None,
+) -> Tensor:
+    """2-D cross-correlation: x (N,C,H,W), weight (F,C,kh,kw), bias (F,).
+
+    ``workspace`` reuses the im2col buffer across calls; see
+    :class:`ConvWorkspace` for the one-in-flight validity condition.
+    """
     x, weight = as_tensor(x), as_tensor(weight)
     if x.ndim != 4 or weight.ndim != 4:
         raise ShapeError(
@@ -90,7 +143,7 @@ def conv2d(x, weight, bias=None, *, stride: int = 1, padding: int = 0) -> Tensor
     n, c, h, w = xp.shape
     if h < kh or w < kw:
         raise ShapeError(f"input {xp.shape} smaller than kernel ({kh},{kw})")
-    cols, out_h, out_w = _im2col(xp, kh, kw, stride)
+    cols, out_h, out_w = _im2col(xp, kh, kw, stride, workspace)
     w_mat = weight.data.reshape(f, c * kh * kw)
     out_data = cols @ w_mat.T  # (N, out_h, out_w, F)
     if bias is not None:

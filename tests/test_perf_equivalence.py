@@ -1,0 +1,196 @@
+"""Fast-path == slow-path equivalence tests.
+
+Every optimization in the perf layer claims result preservation; this file
+enforces each claim by running the same workload with the fast path on and
+off:
+
+* uncontended-link collapse: identical event-mode timings;
+* collective-schedule memoization: identical timings;
+* steady-state extrapolation: matches full simulation within ulp-level
+  tolerance (zero jitter), never fires under the default jitter;
+* parallel sweep: identical to the serial sweep, in order;
+* result cache: cached point identical to the freshly simulated one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import MPI_OPT, ScalingStudy, StudyConfig, scenario_by_name
+from repro.hardware import LASSEN, Cluster
+from repro.mpi import MpiWorld, WorldSpec
+from repro.mpi.collectives import ExecutionMode
+from repro.mpi.collectives.allreduce import allreduce_timing, clear_schedule_cache
+from repro.perf import ResultCache, flags, run_point_jobs, PointJob
+from repro.sim import Environment
+from repro.utils.units import MIB
+
+ALGORITHMS = ["ring", "reduce_scatter_allgather", "hierarchical"]
+
+
+@pytest.fixture()
+def restore_flags():
+    saved = (flags.link_fastpath, flags.schedule_memo)
+    yield
+    flags.link_fastpath, flags.schedule_memo = saved
+    clear_schedule_cache()
+
+
+def _event_allreduce(num_ranks: int, nbytes: int, algorithm: str) -> float:
+    cluster = Cluster(Environment(), LASSEN, num_nodes=max(1, num_ranks // 4))
+    spec = WorldSpec(
+        num_ranks=num_ranks, policy=MPI_OPT.policy, config=MPI_OPT.mv2
+    )
+    world = MpiWorld(cluster, spec, mode=ExecutionMode.EVENT)
+    t = allreduce_timing(
+        world.coster, list(range(num_ranks)), nbytes, algorithm=algorithm
+    )
+    return t.time
+
+
+class TestLinkFastPath:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_event_timings_identical_with_and_without(
+        self, algorithm, restore_flags
+    ):
+        flags.link_fastpath = True
+        clear_schedule_cache()
+        fast = _event_allreduce(8, 16 * MIB, algorithm)
+        flags.link_fastpath = False
+        clear_schedule_cache()
+        slow = _event_allreduce(8, 16 * MIB, algorithm)
+        assert fast == slow, f"{algorithm}: fast {fast} != slow {slow}"
+
+    def test_contended_links_still_queue(self, restore_flags):
+        """Two concurrent transfers over the same route must serialize on
+        the bottleneck whether or not the fast path is active."""
+        times = {}
+        for enabled in (True, False):
+            flags.link_fastpath = enabled
+            env = Environment()
+            cluster = Cluster(env, LASSEN, num_nodes=2)
+            src = cluster.gpu_ref(0)
+            dst = cluster.gpu_ref(4)
+            done = []
+
+            def flow(nbytes=64 * MIB):
+                yield from cluster.transfer(src, dst, nbytes)
+                done.append(env.now)
+
+            env.process(flow())
+            env.process(flow())
+            env.run()
+            times[enabled] = tuple(done)
+        assert times[True] == times[False]
+        # the second flow finishes strictly after the first (serialized)
+        assert times[True][1] > times[True][0]
+
+
+class TestScheduleMemo:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_timings_identical_with_and_without(self, algorithm, restore_flags):
+        flags.schedule_memo = False
+        clear_schedule_cache()
+        unmemoized = _event_allreduce(8, 8 * MIB, algorithm)
+        flags.schedule_memo = True
+        clear_schedule_cache()
+        first = _event_allreduce(8, 8 * MIB, algorithm)
+        second = _event_allreduce(8, 8 * MIB, algorithm)
+        assert unmemoized == first == second
+
+
+class TestSteadyStateExtrapolation:
+    def test_zero_jitter_matches_full_simulation(self):
+        scenario = scenario_by_name("MPI-Opt")
+        fast_cfg = StudyConfig(jitter_sigma=0.0, measure_steps=8)
+        slow_cfg = StudyConfig(
+            jitter_sigma=0.0, measure_steps=8, steady_detect=False
+        )
+        fast = ScalingStudy(scenario, fast_cfg).run_point(16)
+        slow = ScalingStudy(scenario, slow_cfg).run_point(16)
+        assert fast.extrapolated_steps > 0
+        assert slow.extrapolated_steps == 0
+        assert fast.simulated_steps + fast.extrapolated_steps == 8
+        # per-step accumulator noise bounds the drift at the ulp level
+        assert fast.step_time == pytest.approx(slow.step_time, rel=1e-12)
+        assert fast.images_per_second == pytest.approx(
+            slow.images_per_second, rel=1e-12
+        )
+        assert fast.comm_wall_time == slow.comm_wall_time
+        assert fast.message_sizes == slow.message_sizes
+
+    def test_default_jitter_never_extrapolates(self):
+        scenario = scenario_by_name("MPI")
+        jittered = StudyConfig(measure_steps=6)
+        point = ScalingStudy(scenario, jittered).run_point(8)
+        assert point.extrapolated_steps == 0
+        assert point.simulated_steps == 6
+        # and the result is bit-identical to a detector-free run
+        off = ScalingStudy(
+            scenario, StudyConfig(measure_steps=6, steady_detect=False)
+        ).run_point(8)
+        assert point.step_time == off.step_time
+
+    def test_profiled_runs_simulate_every_step(self):
+        from repro.profiling import Hvprof
+
+        scenario = scenario_by_name("MPI")
+        config = StudyConfig(jitter_sigma=0.0, measure_steps=8)
+        hv = Hvprof()
+        point = ScalingStudy(scenario, config).run_point(4, hvprof=hv)
+        assert point.extrapolated_steps == 0
+        assert point.simulated_steps == 8
+
+
+class TestParallelSweep:
+    def test_parallel_merge_identical_to_serial(self):
+        scenario = scenario_by_name("MPI-Opt")
+        config = StudyConfig()
+        gpu_counts = [4, 8, 16]
+        serial = ScalingStudy(scenario, config).run(gpu_counts)
+        parallel = ScalingStudy(scenario, config).run(gpu_counts, jobs=2)
+        assert [p.num_gpus for p in parallel] == gpu_counts
+        for s, p in zip(serial, parallel):
+            assert dataclasses.asdict(s) == dataclasses.asdict(p)
+
+    def test_run_point_jobs_preserves_input_order(self):
+        config = StudyConfig()
+        jobs = [
+            PointJob("MPI-Opt", 8, config),
+            PointJob("MPI", 4, config),
+            PointJob("MPI-Opt", 4, config),
+        ]
+        points = run_point_jobs(jobs, workers=2)
+        assert [(p.scenario, p.num_gpus) for p in points] == [
+            ("MPI-Opt", 8), ("MPI", 4), ("MPI-Opt", 4)
+        ]
+
+    def test_custom_scenario_falls_back_to_serial(self):
+        scenario = dataclasses.replace(scenario_by_name("MPI"), name="custom")
+        study = ScalingStudy(scenario, StudyConfig())
+        assert not study._parallel_safe()
+        points = study.run([4], jobs=4)  # must not try to pickle by name
+        assert points[0].scenario == "custom"
+
+
+class TestCacheEquivalence:
+    def test_cached_sweep_identical_to_fresh(self, tmp_path):
+        scenario = scenario_by_name("MPI")
+        config = StudyConfig()
+        cache = ResultCache(str(tmp_path))
+        fresh = ScalingStudy(scenario, config).run([4, 8], cache=cache)
+        cached = ScalingStudy(scenario, config).run([4, 8], cache=cache)
+        assert cache.hits == 2
+        for f, c in zip(fresh, cached):
+            assert dataclasses.asdict(f) == dataclasses.asdict(c)
+
+    def test_knob_change_misses_cache(self, tmp_path, monkeypatch):
+        scenario = scenario_by_name("MPI")
+        cache = ResultCache(str(tmp_path))
+        ScalingStudy(scenario, StudyConfig()).run_point(4, cache=cache)
+        assert cache.entry_count() == 1
+        monkeypatch.setenv("HOROVOD_SOME_KNOB", "on")
+        ScalingStudy(scenario, StudyConfig()).run_point(4, cache=cache)
+        assert cache.entry_count() == 2  # distinct digest, no false hit
