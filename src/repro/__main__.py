@@ -8,6 +8,7 @@ Thin wrappers over the library for the common reproduction workflows:
 * ``python -m repro fig1``
 * ``python -m repro models``
 * ``python -m repro cache stats``
+* ``python -m repro resilience --gpus 8 --fail 3@2.0 --report report.json``
 
 ``--profile`` (before the subcommand) wraps any of them in cProfile and
 prints the top cumulative-time entries; sweep results go through the
@@ -123,6 +124,83 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_failures(specs: list[str]):
+    """``rank@time`` or ``rank@time@down_s`` → RankFailure list."""
+    from repro.faults import RankFailure
+
+    failures = []
+    for spec in specs:
+        parts = spec.split("@")
+        if len(parts) not in (2, 3):
+            raise SystemExit(
+                f"bad --fail spec {spec!r}; expected rank@time[@down_s]"
+            )
+        down = float(parts[2]) if len(parts) == 3 else None
+        failures.append(
+            RankFailure(rank=int(parts[0]), time=float(parts[1]), down_s=down)
+        )
+    return failures
+
+
+def cmd_resilience(args: argparse.Namespace) -> int:
+    """Run one scaling point under a fault plan and itemize the recovery."""
+    import json
+
+    from repro.faults import FaultPlan
+    from repro.resilience import (
+        CheckpointPolicy,
+        RecoveryAccounting,
+        RecoveryPolicy,
+    )
+
+    scenario = scenario_by_name(args.scenario)
+    specs = args.fail or ["3@2.0"]
+    plan = FaultPlan(seed=args.seed, faults=tuple(_parse_failures(specs)))
+    policy = RecoveryPolicy(
+        restart=not args.no_restart,
+        blacklist_after=args.blacklist_after,
+        regrow=args.regrow,
+        checkpoint=CheckpointPolicy(interval_steps=args.ckpt_interval),
+    )
+    study = ScalingStudy(
+        scenario,
+        StudyConfig(measure_steps=args.steps, model=args.model),
+        fault_plan=plan,
+        recovery=policy,
+    )
+    cache = _make_cache(args)
+    gpu_counts = [int(g) for g in args.gpus.split(",")]
+    points = study.run(gpu_counts, jobs=args.jobs, cache=cache)
+    mode = "shrink-continue" if args.no_restart else "restart-from-checkpoint"
+    for p in points:
+        r = p.resilience or {}
+        print(
+            f"== {scenario.name} @ {p.num_gpus} GPUs — {mode} "
+            f"(plan seed {args.seed}) =="
+        )
+        print(
+            f"throughput {p.images_per_second:.1f} images/s, "
+            f"final world {r.get('final_world_size', p.num_gpus)}"
+        )
+        if p.resilience is not None:
+            for line in RecoveryAccounting.from_payload(r).lines():
+                print(line)
+            print(f"fault-trace digest   {r['trace_digest']}")
+    if args.report:
+        from repro.core.study import point_payload
+
+        report = {
+            "scenario": scenario.name,
+            "plan_seed": args.seed,
+            "policy": mode,
+            "points": [point_payload(p) for p in points],
+        }
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"recovery report written to {args.report}")
+    return 0
+
+
 def cmd_diagnose(args: argparse.Namespace) -> int:
     report = OptimizationPipeline(num_gpus=args.gpus, steps=args.steps).run()
     print(report.table())
@@ -178,6 +256,37 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--gpus", type=int, default=4)
     diagnose.add_argument("--steps", type=int, default=10)
     diagnose.set_defaults(func=cmd_diagnose)
+
+    res = sub.add_parser(
+        "resilience",
+        help="run a scaling point under injected faults with elastic recovery",
+    )
+    res.add_argument("--scenario", default="MPI-Opt",
+                     choices=[s.name for s in SCENARIOS])
+    res.add_argument("--gpus", default="8",
+                     help="comma-separated world sizes to run")
+    res.add_argument("--steps", type=int, default=8,
+                     help="measured training steps per point")
+    res.add_argument("--model", default="edsr-paper")
+    res.add_argument("--fail", action="append", default=None,
+                     metavar="RANK@TIME[@DOWN]",
+                     help="inject a rank failure (repeatable); DOWN seconds "
+                          "makes the outage transient for --regrow")
+    res.add_argument("--seed", type=int, default=0, help="fault plan seed")
+    res.add_argument("--no-restart", action="store_true",
+                     help="shrink-and-continue instead of checkpoint restart")
+    res.add_argument("--regrow", action="store_true",
+                     help="re-admit ranks whose outage window ends")
+    res.add_argument("--blacklist-after", type=int, default=0,
+                     help="evict a rank after this many straggler offenses")
+    res.add_argument("--ckpt-interval", type=int, default=2,
+                     help="checkpoint every N steps")
+    res.add_argument("--jobs", type=int, default=1)
+    res.add_argument("--no-cache", action="store_true")
+    res.add_argument("--cache-dir", default=None)
+    res.add_argument("--report", default=None,
+                     help="write the JSON recovery report to this path")
+    res.set_defaults(func=cmd_resilience)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("cache_command", choices=["stats", "clear"],

@@ -102,6 +102,10 @@ class ScalingPoint:
     # simulated vs extrapolated at the converged per-step time.
     simulated_steps: int = 0
     extrapolated_steps: int = 0
+    # Recovery report for runs under a fault plan: the itemized
+    # time-to-solution ledger (RecoveryAccounting payload) plus the
+    # world-size trajectory and fault-trace digest.  None for clean runs.
+    resilience: dict | None = None
 
     @property
     def per_gpu_rate(self) -> float:
@@ -109,11 +113,27 @@ class ScalingPoint:
 
 
 class ScalingStudy:
-    """Runs the paper's weak-scaling experiment for one scenario."""
+    """Runs the paper's weak-scaling experiment for one scenario.
 
-    def __init__(self, scenario: Scenario, config: StudyConfig | None = None):
+    With a ``fault_plan``, each point runs the elastic-recovery loop
+    instead of the clean steady-state loop: rank failures are detected by
+    a heartbeat supervisor, absorbed per the ``recovery`` policy
+    (restart-from-checkpoint on the shrunk world by default), and every
+    second of overhead is itemized into the point's ``resilience`` report.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: StudyConfig | None = None,
+        *,
+        fault_plan=None,
+        recovery=None,
+    ):
         self.scenario = scenario
         self.config = config or StudyConfig()
+        self.fault_plan = fault_plan
+        self.recovery = recovery
         self.cost: ModelCostModel = get_model_cost(self.config.model)
         self.throughput = ThroughputModel(self.cost, self.config.cluster.node.gpu)
         self.memory = TrainingMemoryModel(self.cost)
@@ -193,16 +213,23 @@ class ScalingStudy:
         return self.memory.max_batch(available)
 
     # -- result cache addressing ----------------------------------------------
-    def point_digest(self, num_gpus: int, *, fault_plan=None) -> str:
+    def point_digest(
+        self, num_gpus: int, *, fault_plan=None, recovery=None
+    ) -> str:
         """Content address of the point this study would produce.
 
         Folds in everything that determines the result: scenario (policy,
         MV2 config, backend), the full :class:`StudyConfig`, world size and
         per-GPU batch, the ``MV2_*``/``HOROVOD_*``/``REPRO_SIM_*`` environment
-        knobs, an optional fault plan, and the cache version salt.
+        knobs, the fault plan and recovery policy (the study's own unless
+        overridden), and the cache version salt.
         """
         from repro.perf.digest import canonical_digest, env_knobs
 
+        if fault_plan is None:
+            fault_plan = self.fault_plan
+        if recovery is None:
+            recovery = self.recovery
         return canonical_digest(
             {
                 "kind": "scaling-point",
@@ -212,6 +239,7 @@ class ScalingStudy:
                 "batch_per_gpu": self.batch_for(num_gpus),
                 "env": env_knobs(),
                 "fault_plan": fault_plan,
+                "recovery": recovery,
             }
         )
 
@@ -241,6 +269,8 @@ class ScalingStudy:
     def _run_point(
         self, num_gpus: int, *, hvprof: Hvprof | None = None
     ) -> ScalingPoint:
+        if self.fault_plan is not None and num_gpus > 1:
+            return self._run_point_faulty(num_gpus, hvprof=hvprof)
         cfg = self.config
         batch = self.batch_for(num_gpus)
         if cfg.check_memory:
@@ -353,6 +383,193 @@ class ScalingStudy:
             extrapolated_steps=extrapolated_steps,
         )
 
+    # -- elastic recovery (performance mode) --------------------------------------
+    def _checkpoint_nbytes(self) -> int:
+        """Bytes one checkpoint writes: fp32 weights + optimizer state."""
+        return int(self.cost.total_params * (4 + OPTIMIZER_BYTES_PER_PARAM))
+
+    def _run_point_faulty(
+        self, num_gpus: int, *, hvprof: Hvprof | None = None
+    ) -> ScalingPoint:
+        """One point under the study's fault plan and recovery policy.
+
+        Mirrors the functional trainer's orchestration on the performance
+        model: a heartbeat supervisor detects dead ranks, the recovery
+        policy decides between restart-from-checkpoint (steps since the
+        last snapshot are discarded as lost work and re-simulated on the
+        shrunk ring) and shrink-and-continue; chronic stragglers can be
+        blacklisted, and ranks whose outage window ends can be regrown.
+        All overheads land in the point's ``resilience`` ledger.
+        """
+        from repro.errors import RankFailedError
+        from repro.faults.injector import FaultInjector
+        from repro.resilience.accounting import RecoveryAccounting
+        from repro.resilience.policy import RESTART_FROM_CHECKPOINT
+        from repro.resilience.supervisor import HeartbeatSupervisor
+
+        cfg = self.config
+        batch = self.batch_for(num_gpus)
+        if cfg.check_memory:
+            self.check_memory_feasible(batch)
+        forward = self.throughput.forward_time(batch)
+        backward = self.throughput.backward_time(batch)
+        update = self._update_time()
+        cluster = build_cluster(cfg.cluster, num_gpus)
+        world_spec = WorldSpec(
+            num_ranks=num_gpus,
+            policy=self.scenario.policy,
+            config=self.scenario.mv2,
+        )
+        injector = FaultInjector(self.fault_plan)
+        world, comm = build_backend(
+            cluster,
+            self.scenario.backend,
+            world_spec=world_spec,
+            num_ranks=num_gpus,
+            faults=injector,
+        )
+        if hvprof is not None:
+            comm.add_observer(hvprof.observer)
+        engine = HorovodEngine(comm, cfg.horovod)
+        policy = self.recovery or RESTART_FROM_CHECKPOINT
+        supervisor = HeartbeatSupervisor(
+            range(num_gpus), injector, policy.heartbeat
+        )
+        acct = RecoveryAccounting()
+        ckpt_nbytes = self._checkpoint_nbytes()
+        transport = getattr(world, "transport", None)
+        rng = SeedSequenceFactory(2021).generator("gradient-jitter", num_gpus)
+        live = list(range(num_gpus))
+        # (step_time, world_size) per completed step; truncated on restart
+        records: list[tuple[float, int]] = []
+        last_ckpt = 0
+        clock = 0.0
+        total_steps = cfg.warmup_steps + cfg.measure_steps
+        if policy.restart:
+            cost = policy.checkpoint.write_cost(ckpt_nbytes)
+            clock += cost
+            acct.note_checkpoint(cost)
+        while len(records) < total_steps:
+            now = clock
+            detections = supervisor.poll(now)
+            dead = [d for d in detections if d.rank in live]
+            for d in dead:
+                stall = max(0.0, d.declared_at - now)
+                clock += stall
+                acct.note_detection(stall)
+                live.remove(d.rank)
+            if not live:
+                raise RankFailedError(
+                    f"all {num_gpus} ranks failed under plan "
+                    f"seed={self.fault_plan.seed}"
+                )
+            if dead:
+                engine.shrink_to(sorted(live))
+                if policy.restart:
+                    lost_steps = len(records) - last_ckpt
+                    if lost_steps > 0:
+                        lost = sum(t for t, _ in records[last_ckpt:])
+                        acct.productive_s -= lost
+                        acct.note_lost_work(lost, steps=lost_steps)
+                        del records[last_ckpt:]
+                    read = policy.checkpoint.read_cost(ckpt_nbytes)
+                    acct.note_restart(read + policy.restart_overhead_s)
+                    clock += read + policy.restart_overhead_s
+                    injector.record(
+                        "restart", clock,
+                        detail=f"from step {last_ckpt} world={len(live)}",
+                    )
+            if policy.blacklist_after > 0:
+                for rank in supervisor.over_limit(policy.blacklist_after):
+                    if rank in live and len(live) > 1:
+                        live.remove(rank)
+                        supervisor.drop(rank)
+                        engine.shrink_to(sorted(live))
+                        acct.note_blacklist(rank)
+                        injector.record(
+                            "rank-blacklisted", clock, rank=rank,
+                            detail=f"offenses>={policy.blacklist_after}",
+                        )
+            if policy.regrow:
+                for rank in supervisor.recovered(clock):
+                    live.append(rank)
+                    live.sort()
+                    supervisor.readmit(rank)
+                    engine.reform_to(list(live))
+                    acct.note_regrow(rank, policy.restart_overhead_s)
+                    clock += policy.restart_overhead_s
+                    injector.record(
+                        "rank-regrown", clock, rank=rank,
+                        detail=f"world={len(live)}",
+                    )
+            step_index = len(records)
+            fault_factor = 1.0
+            for rank in live:
+                f = injector.compute_factor(rank, clock, step_index)
+                supervisor.note_compute(rank, f, clock)
+                fault_factor = max(fault_factor, f)
+            backward_eff = (
+                backward
+                * straggler_factor(len(live), sigma=cfg.jitter_sigma)
+                * fault_factor
+            )
+            stream = self._gradient_stream(backward_eff, rng=rng)
+            staged_before = transport.max_staged_seconds() if transport else 0.0
+            timing = engine.run_step(stream, backward_time=backward_eff)
+            staged_delta = (
+                transport.max_staged_seconds() - staged_before
+                if transport else 0.0
+            )
+            blocking = staged_delta * PAGEABLE_BLOCKING_FACTOR
+            step = (
+                forward
+                + max(backward_eff, timing.comm_finish)
+                + blocking
+                + update
+            )
+            records.append((step, len(live)))
+            clock += step
+            acct.note_productive(step)
+            if policy.restart and policy.checkpoint.due(len(records)):
+                cost = policy.checkpoint.write_cost(ckpt_nbytes)
+                clock += cost
+                acct.note_checkpoint(cost)
+                last_ckpt = len(records)
+        measured = records[cfg.warmup_steps:]
+        mean_step = sum(t for t, _ in measured) / len(measured)
+        regcache = None
+        if self.scenario.backend == "mpi":
+            stats = world.regcache_stats()
+            regcache = stats["hit_rate"] if stats["hits"] + stats["misses"] else None
+        resilience = {
+            **acct.to_payload(),
+            "world_sizes": [w for _, w in records],
+            "final_world_size": len(live),
+            "trace_digest": injector.trace.digest(),
+            "trace_events": len(injector.trace),
+        }
+        return ScalingPoint(
+            scenario=self.scenario.name,
+            num_gpus=num_gpus,
+            images_per_second=(
+                sum(w * batch for _, w in measured)
+                / sum(t for t, _ in measured)
+            ),
+            step_time=mean_step,
+            forward_time=forward,
+            backward_time=backward,
+            exposed_comm_time=timing.exposed_comm_time,
+            coordination_time=timing.coordination_time,
+            update_time=update,
+            blocking_time=blocking,
+            comm_wall_time=timing.total_comm_time,
+            message_sizes=[m.nbytes for m in timing.messages],
+            regcache_hit_rate=regcache,
+            simulated_steps=len(records),
+            extrapolated_steps=0,
+            resilience=resilience,
+        )
+
     # -- full sweep ---------------------------------------------------------------
     def run(
         self, gpu_counts: list[int], *, jobs: int = 1, cache=None
@@ -369,7 +586,11 @@ class ScalingStudy:
             from repro.perf.parallel import PointJob, run_point_jobs
 
             point_jobs = [
-                PointJob(self.scenario.name, g, self.config) for g in gpu_counts
+                PointJob(
+                    self.scenario.name, g, self.config,
+                    fault_plan=self.fault_plan, recovery=self.recovery,
+                )
+                for g in gpu_counts
             ]
             points = run_point_jobs(point_jobs, workers=jobs, cache=cache)
         else:

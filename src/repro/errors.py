@@ -55,6 +55,10 @@ class RankFailedError(FaultError):
     """A rank failed and the resilience policy does not allow recovery."""
 
 
+class CheckpointError(FaultError):
+    """No usable checkpoint: missing, corrupt, or torn beyond retention."""
+
+
 class MpiError(ReproError):
     """Simulated MPI error (mirrors ``MPI_ERR_*``)."""
 

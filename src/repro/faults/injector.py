@@ -63,6 +63,7 @@ class FaultInjector:
         self._links = plan.of_type(LinkFault)
         self._messages = plan.of_type(MessageFault)
         self._failures = {f.rank: f.time for f in plan.of_type(RankFailure)}
+        self._failure_specs = {f.rank: f for f in plan.of_type(RankFailure)}
         self._msg_seq = 0
         # transition keys already recorded (one trace event per onset, not
         # one per query)
@@ -200,6 +201,12 @@ class FaultInjector:
 
     def failed_ranks(self, time: float) -> set[int]:
         return {r for r, t in self._failures.items() if t <= time}
+
+    def failure_down_s(self, rank: int) -> float | None:
+        """Outage duration for ``rank``'s failure (None: permanent or no
+        failure scheduled)."""
+        spec = self._failure_specs.get(rank)
+        return spec.down_s if spec is not None else None
 
     @property
     def any_faults(self) -> bool:

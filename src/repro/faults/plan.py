@@ -145,18 +145,30 @@ class MessageFault:
 
 @dataclass(frozen=True)
 class RankFailure:
-    """Permanent loss of one rank at ``time`` (node crash / GPU falls off
-    the bus).  Recovery behaviour is chosen by the consumer's resilience
-    policy (shrink the ring or abort)."""
+    """Loss of one rank at ``time`` (node crash / GPU falls off the bus).
+
+    ``down_s=None`` makes the outage permanent; a finite ``down_s`` means
+    the node returns to service that many seconds later, and an elastic
+    recovery policy (:class:`~repro.resilience.RecoveryPolicy` with
+    ``regrow=True``) may re-admit the rank once the window ends.  How a
+    failure is absorbed — shrink, abort, restart-from-checkpoint, regrow —
+    is always the consumer's policy, never the plan's.
+    """
 
     rank: int
     time: float = 0.0
+    down_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.rank < 0:
             raise FaultPlanError(f"failure: rank must be >= 0, got {self.rank}")
         if self.time < 0:
             raise FaultPlanError(f"failure: time must be >= 0, got {self.time}")
+        if self.down_s is not None and self.down_s <= 0:
+            raise FaultPlanError(
+                "failure: down_s must be positive (or None for permanent), "
+                f"got {self.down_s}"
+            )
 
 
 @dataclass(frozen=True)

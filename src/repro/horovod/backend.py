@@ -17,17 +17,23 @@ def build_backend(
     world_spec: WorldSpec | None = None,
     num_ranks: int | None = None,
     mode: ExecutionMode = ExecutionMode.ANALYTIC,
+    faults=None,
 ):
     """Return (world, communicator) for the requested backend.
 
     MPI requires a :class:`WorldSpec` (visibility policy + MV2 config);
     NCCL only needs the rank count — it manages devices itself, which is
     exactly the asymmetry the paper investigates.
+
+    ``faults`` (a :class:`~repro.faults.FaultInjector`) is threaded into
+    the MPI transport so link/message faults perturb collective timing;
+    the NCCL cost envelope has no per-message transport, so there it only
+    governs membership/compute faults at the layers above.
     """
     if backend == "mpi":
         if world_spec is None:
             raise ConfigError("MPI backend requires a WorldSpec")
-        world = MpiWorld(cluster, world_spec, mode=mode)
+        world = MpiWorld(cluster, world_spec, mode=mode, faults=faults)
         return world, world.communicator()
     if backend == "nccl":
         ranks = num_ranks if num_ranks is not None else (

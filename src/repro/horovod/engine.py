@@ -123,11 +123,27 @@ class HorovodEngine:
 
         Mirrors an elastic-Horovod re-initialization: the response cache
         and fusion-slot identities are stale for the new ring and are
-        dropped (the registration cache then re-warms on the new buffers).
+        dropped (the registration cache then re-warms on the new buffers),
+        and the memoized collective step-schedules are rebuilt so no plan
+        keyed against the old world size can ever be replayed on the new
+        ring.
         """
         self.comm = self.comm.restrict(ranks)
+        self._reset_ring_state()
+
+    def reform_to(self, ranks: list[int]) -> None:
+        """Re-form the ring on an arbitrary world subset (elastic re-grow
+        of a previously-dropped rank).  Same cache invalidation as
+        :meth:`shrink_to`."""
+        self.comm = self.comm.reform(ranks)
+        self._reset_ring_state()
+
+    def _reset_ring_state(self) -> None:
+        from repro.mpi.collectives.allreduce import clear_schedule_cache
+
         self._slot_buffers.clear()
         self._response_cache.clear()
+        clear_schedule_cache()
 
     # -- buffers -----------------------------------------------------------------
     def _buffers_for(self, message: FusionMessage) -> list[GpuBuffer]:

@@ -79,6 +79,17 @@ class DistributedOptimizer:
         del self.optimizers[i]
         self.engine.shrink_to(self.ranks)
 
+    def add_rank(self, rank: int, model: Module, optimizer: Optimizer) -> None:
+        """Re-admit a rank (elastic re-grow): insert its replica in rank
+        order and re-form the engine's ring at the larger world."""
+        if rank in self.ranks:
+            raise HorovodError(f"rank {rank} already in optimizer world")
+        i = sum(1 for r in self.ranks if r < rank)
+        self.ranks.insert(i, rank)
+        self.models.insert(i, model)
+        self.optimizers.insert(i, optimizer)
+        self.engine.reform_to(self.ranks)
+
     def zero_grad(self) -> None:
         for opt in self.optimizers:
             opt.zero_grad()

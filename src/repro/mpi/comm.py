@@ -179,6 +179,25 @@ class Communicator:
             )
         if not ranks:
             raise MpiError("cannot restrict a communicator to zero ranks")
+        return self.reform(ranks)
+
+    def reform(self, ranks: Sequence[int]) -> "Communicator":
+        """Communicator over any subset of the *world's* ranks.
+
+        Unlike :meth:`restrict`, the new membership need not be contained
+        in this communicator's — an elastic re-grow re-admits a rank that
+        was dropped earlier, as long as its process context still exists
+        in the world.  Observers carry over either way.
+        """
+        world_ranks = {r.rank for r in self.world.ranks}
+        unknown = set(ranks) - world_ranks
+        if unknown:
+            raise MpiError(
+                f"cannot form a communicator on ranks {sorted(unknown)} "
+                f"absent from the world {sorted(world_ranks)}"
+            )
+        if not ranks:
+            raise MpiError("cannot form a communicator over zero ranks")
         sub = Communicator(self.world, list(ranks))
         sub.observers = list(self.observers)
         return sub

@@ -84,6 +84,21 @@ class NcclCommunicator:
         sub.observers = list(self.observers)
         return sub
 
+    def reform(self, ranks: Sequence[int]) -> "NcclCommunicator":
+        """Communicator over any subset of the world's ranks (elastic
+        shrink or re-grow).  Observers carry over."""
+        unknown = {r for r in ranks if not 0 <= r < self.world.num_ranks}
+        if unknown:
+            raise NcclError(
+                f"cannot form a communicator on ranks {sorted(unknown)} "
+                f"outside the {self.world.num_ranks}-rank world"
+            )
+        if not ranks:
+            raise NcclError("cannot form a communicator over zero ranks")
+        sub = NcclCommunicator(self.world, list(ranks))
+        sub.observers = list(self.observers)
+        return sub
+
     # -- timing models ----------------------------------------------------------
     def _node_count(self) -> int:
         gpn = self.world.cluster.gpus_per_node

@@ -29,20 +29,35 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class PointJob:
-    """One sweep point, addressed by scenario *name* (cheap to pickle)."""
+    """One sweep point, addressed by scenario *name* (cheap to pickle).
+
+    ``fault_plan`` / ``recovery`` (both frozen dataclasses) ride along so
+    chaos sweeps parallelize identically to clean ones — workers rebuild
+    the exact resilient study, and the digest covers both fields.
+    """
 
     scenario: str
     num_gpus: int
     config: "StudyConfig"
+    fault_plan: object | None = None
+    recovery: object | None = None
+
+
+def _build_study(job: PointJob) -> "ScalingStudy":
+    from repro.core.scenarios import scenario_by_name
+    from repro.core.study import ScalingStudy
+
+    return ScalingStudy(
+        scenario_by_name(job.scenario),
+        job.config,
+        fault_plan=job.fault_plan,
+        recovery=job.recovery,
+    )
 
 
 def _execute(job: PointJob) -> "ScalingPoint":
     """Worker entry point (module level so it pickles under spawn)."""
-    from repro.core.scenarios import scenario_by_name
-    from repro.core.study import ScalingStudy
-
-    study = ScalingStudy(scenario_by_name(job.scenario), job.config)
-    return study.run_point(job.num_gpus)
+    return _build_study(job).run_point(job.num_gpus)
 
 
 def default_jobs() -> int:
@@ -60,9 +75,6 @@ def run_point_jobs(
     ``workers=1`` (or a single job) runs inline — same code path the
     equivalence tests compare against, no pool overhead.
     """
-    from repro.core.scenarios import scenario_by_name
-    from repro.core.study import ScalingStudy
-
     workers = default_jobs() if workers is None else workers
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -72,8 +84,7 @@ def run_point_jobs(
     digests: dict[int, str] = {}
     for i, job in enumerate(jobs):
         if cache is not None and cache.enabled:
-            study = ScalingStudy(scenario_by_name(job.scenario), job.config)
-            digest = study.point_digest(job.num_gpus)
+            digest = _build_study(job).point_digest(job.num_gpus)
             digests[i] = digest
             hit = cache.get(digest)
             if hit is not None:

@@ -1,0 +1,56 @@
+"""Elastic recovery: faults become survivable, costed events.
+
+PR 1's :mod:`repro.faults` can kill ranks, flap links, and slow compute —
+but the only responses were shrink-and-hope or abort, and checkpoints
+dropped optimizer state.  This package closes the loop, modeled on
+elastic Horovod's recovery flow:
+
+* :class:`CheckpointPolicy` / :class:`CheckpointManager` — periodic
+  atomic snapshots of model **and** optimizer/LR-schedule state, with
+  content checksums, retention rotation, and simulated I/O cost charged
+  to the training critical path (:mod:`repro.resilience.checkpoint`);
+* :class:`HeartbeatConfig` / :class:`HeartbeatSupervisor` — watchdog
+  detection of dead and chronically-straggling ranks with deterministic
+  timeout + exponential-backoff probe latency
+  (:mod:`repro.resilience.supervisor`);
+* :class:`RecoveryPolicy` — restart-from-checkpoint on a shrunk world,
+  blacklist after repeated straggler offenses, elastic regrow when an
+  outage window ends (:mod:`repro.resilience.policy`);
+* :class:`RecoveryAccounting` — time-to-solution decomposition:
+  productive time, checkpoint overhead, detection latency, lost work,
+  recovery cost (:mod:`repro.resilience.accounting`).
+
+Consumed by :class:`~repro.trainer.DistributedTrainer` (functional runs)
+and :class:`~repro.core.ScalingStudy` (paper-scale performance runs);
+exposed via ``python -m repro resilience``.
+"""
+
+from repro.resilience.accounting import RecoveryAccounting
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    CheckpointPolicy,
+    file_checksum,
+)
+from repro.resilience.policy import (
+    RESTART_FROM_CHECKPOINT,
+    SHRINK_CONTINUE,
+    RecoveryPolicy,
+)
+from repro.resilience.supervisor import (
+    Detection,
+    HeartbeatConfig,
+    HeartbeatSupervisor,
+)
+
+__all__ = [
+    "CheckpointPolicy",
+    "CheckpointManager",
+    "file_checksum",
+    "HeartbeatConfig",
+    "HeartbeatSupervisor",
+    "Detection",
+    "RecoveryPolicy",
+    "RecoveryAccounting",
+    "SHRINK_CONTINUE",
+    "RESTART_FROM_CHECKPOINT",
+]

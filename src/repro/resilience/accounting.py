@@ -1,0 +1,142 @@
+"""Time-to-solution accounting under faults.
+
+Synchronous data-parallel training under failures spends wall time in five
+distinguishable buckets, and recovery tuning is the art of trading them
+against each other:
+
+* **productive** — steps whose updates survive into the final model;
+* **checkpoint overhead** — snapshot I/O charged to the critical path
+  (more frequent checkpoints shrink lost work but grow this bucket);
+* **detection** — the hung-collective stall between a rank dying and the
+  watchdog declaring it (heartbeat timeout + probe ladder);
+* **lost work** — productive time since the last checkpoint, discarded
+  and replayed on restart (zero under shrink-and-continue);
+* **recovery** — checkpoint read-back plus ring re-formation per
+  restart/regrow event.
+
+:class:`RecoveryAccounting` accumulates the buckets during a run; its
+payload is JSON-encodable so it travels through the perf result cache and
+parallel sweep merge unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RecoveryAccounting:
+    """Mutable cost ledger, one per training/simulation run."""
+
+    productive_s: float = 0.0
+    checkpoint_s: float = 0.0
+    detection_s: float = 0.0
+    lost_work_s: float = 0.0
+    recovery_s: float = 0.0
+
+    checkpoint_saves: int = 0
+    detections: int = 0
+    restarts: int = 0
+    lost_steps: int = 0
+    blacklisted_ranks: list[int] = field(default_factory=list)
+    regrown_ranks: list[int] = field(default_factory=list)
+
+    # -- accumulation ------------------------------------------------------------
+    def note_productive(self, seconds: float) -> None:
+        self.productive_s += seconds
+
+    def note_checkpoint(self, cost: float) -> None:
+        self.checkpoint_s += cost
+        self.checkpoint_saves += 1
+
+    def note_detection(self, latency: float) -> None:
+        self.detection_s += latency
+        self.detections += 1
+
+    def note_lost_work(self, seconds: float, steps: int = 0) -> None:
+        self.lost_work_s += seconds
+        self.lost_steps += steps
+
+    def note_restart(self, cost: float) -> None:
+        self.recovery_s += cost
+        self.restarts += 1
+
+    def note_blacklist(self, rank: int) -> None:
+        self.blacklisted_ranks.append(rank)
+
+    def note_regrow(self, rank: int, cost: float) -> None:
+        self.regrown_ranks.append(rank)
+        self.recovery_s += cost
+
+    # -- derived -----------------------------------------------------------------
+    @property
+    def overhead_s(self) -> float:
+        """Everything that is not productive step time."""
+        return (
+            self.checkpoint_s + self.detection_s + self.lost_work_s
+            + self.recovery_s
+        )
+
+    @property
+    def time_to_solution_s(self) -> float:
+        return self.productive_s + self.overhead_s
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of wall time spent on surviving work (1.0 fault-free)."""
+        total = self.time_to_solution_s
+        return self.productive_s / total if total > 0 else 1.0
+
+    # -- serialization -----------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-encodable form (cache/parallel-merge safe)."""
+        return {
+            "productive_s": self.productive_s,
+            "checkpoint_s": self.checkpoint_s,
+            "detection_s": self.detection_s,
+            "lost_work_s": self.lost_work_s,
+            "recovery_s": self.recovery_s,
+            "time_to_solution_s": self.time_to_solution_s,
+            "goodput": self.goodput,
+            "checkpoint_saves": self.checkpoint_saves,
+            "detections": self.detections,
+            "restarts": self.restarts,
+            "lost_steps": self.lost_steps,
+            "blacklisted_ranks": list(self.blacklisted_ranks),
+            "regrown_ranks": list(self.regrown_ranks),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RecoveryAccounting":
+        acct = cls(
+            productive_s=payload["productive_s"],
+            checkpoint_s=payload["checkpoint_s"],
+            detection_s=payload["detection_s"],
+            lost_work_s=payload["lost_work_s"],
+            recovery_s=payload["recovery_s"],
+            checkpoint_saves=payload["checkpoint_saves"],
+            detections=payload["detections"],
+            restarts=payload["restarts"],
+            lost_steps=payload.get("lost_steps", 0),
+            blacklisted_ranks=list(payload.get("blacklisted_ranks", [])),
+            regrown_ranks=list(payload.get("regrown_ranks", [])),
+        )
+        return acct
+
+    def lines(self) -> list[str]:
+        """Human-readable itemization for reports and the CLI."""
+        return [
+            f"time to solution   {self.time_to_solution_s:10.3f} s "
+            f"(goodput {self.goodput:.1%})",
+            f"  productive       {self.productive_s:10.3f} s",
+            f"  checkpointing    {self.checkpoint_s:10.3f} s "
+            f"({self.checkpoint_saves} save(s))",
+            f"  detection        {self.detection_s:10.3f} s "
+            f"({self.detections} failure(s))",
+            f"  lost work        {self.lost_work_s:10.3f} s "
+            f"({self.lost_steps} step(s) replayed)",
+            f"  recovery         {self.recovery_s:10.3f} s "
+            f"({self.restarts} restart(s), "
+            f"{len(self.regrown_ranks)} regrow(s), "
+            f"{len(self.blacklisted_ranks)} blacklist(s))",
+        ]

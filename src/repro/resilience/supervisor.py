@@ -1,0 +1,175 @@
+"""Heartbeat/watchdog supervision of rank liveness.
+
+Every rank posts a heartbeat each ``interval_s`` of simulated time; the
+supervisor suspects a rank after ``timeout_s`` of silence and then probes
+it with exponential backoff before declaring it dead.  Detection latency
+is therefore a *pure function* of the failure time and the config — the
+watchdog adds no randomness, so chaos runs stay byte-reproducible.
+
+The supervisor also tracks chronic stragglers: each step whose compute
+factor exceeds ``straggler_threshold`` counts one offense, and the
+recovery policy may blacklist a rank after repeated offenses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Watchdog timing: cadence, suspicion timeout, probe backoff."""
+
+    interval_s: float = 0.1
+    timeout_s: float = 0.25
+    probes: int = 3
+    probe_timeout_s: float = 0.05
+    backoff_factor: float = 2.0
+    #: compute factor at or above which a step counts as a straggler offense
+    straggler_threshold: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ConfigError(f"interval_s must be > 0, got {self.interval_s}")
+        if self.timeout_s < 0 or self.probe_timeout_s < 0:
+            raise ConfigError("heartbeat timeouts must be >= 0")
+        if self.probes < 0:
+            raise ConfigError(f"probes must be >= 0, got {self.probes}")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.straggler_threshold <= 1.0:
+            raise ConfigError(
+                "straggler_threshold must be > 1 (1.0 would flag every step), "
+                f"got {self.straggler_threshold}"
+            )
+
+    def probe_time(self) -> float:
+        """Total wall time of the full probe ladder (exponential backoff)."""
+        return sum(
+            self.probe_timeout_s * self.backoff_factor**k
+            for k in range(self.probes)
+        )
+
+    def declared_at(self, fail_time: float) -> float:
+        """When a failure at ``fail_time`` is *declared* dead.
+
+        The last heartbeat lands on the beat boundary at or before the
+        failure; suspicion fires ``timeout_s`` later, then the probe
+        ladder runs to exhaustion.
+        """
+        last_beat = math.floor(fail_time / self.interval_s) * self.interval_s
+        return last_beat + self.timeout_s + self.probe_time()
+
+    def detection_latency(self, fail_time: float) -> float:
+        """Seconds between the failure and its declaration."""
+        return self.declared_at(fail_time) - fail_time
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One declared rank death."""
+
+    rank: int
+    fail_time: float
+    declared_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.declared_at - self.fail_time
+
+
+class HeartbeatSupervisor:
+    """Tracks rank liveness and straggler offenses against an injector."""
+
+    def __init__(self, ranks, injector, config: HeartbeatConfig | None = None):
+        self.active = list(ranks)
+        if not self.active:
+            raise ConfigError("supervisor needs at least one rank")
+        self.injector = injector
+        self.config = config or HeartbeatConfig()
+        self.offenses: dict[int, int] = {}
+        self._declared: dict[int, float] = {}  # rank -> fail_time
+
+    # -- death detection ---------------------------------------------------------
+    def poll(self, now: float) -> list[Detection]:
+        """Declare ranks whose failure time has passed; returns detections.
+
+        The caller charges ``max(0, declared_at - now)`` of extra wait to
+        its clock — detection may complete after the poll instant.
+        """
+        if self.injector is None:
+            return []
+        detections = []
+        for rank in list(self.active):
+            fail_time = self.injector.failure_time(rank)
+            if fail_time is None or fail_time > now:
+                continue
+            down = self.injector.failure_down_s(rank)
+            if down is not None and fail_time + down <= now:
+                # outage window already over (readmitted rank, or a blip
+                # shorter than the poll cadence): not declared dead
+                continue
+            declared = self.config.declared_at(fail_time)
+            detection = Detection(rank, fail_time, declared)
+            self.active.remove(rank)
+            self._declared[rank] = fail_time
+            self.injector.record(
+                "heartbeat-miss", fail_time, rank=rank,
+                detail=f"interval={self.config.interval_s:g}s",
+            )
+            self.injector.record(
+                "rank-dead", declared, rank=rank,
+                detail=f"latency={detection.latency:.4f}s "
+                       f"probes={self.config.probes}",
+            )
+            detections.append(detection)
+        return detections
+
+    # -- elastic regrow ----------------------------------------------------------
+    def recovered(self, now: float) -> list[int]:
+        """Previously-declared ranks whose outage window has ended."""
+        back = []
+        for rank, fail_time in list(self._declared.items()):
+            down = self.injector.failure_down_s(rank) if self.injector else None
+            if down is not None and fail_time + down <= now:
+                del self._declared[rank]
+                back.append(rank)
+        return sorted(back)
+
+    def readmit(self, rank: int) -> None:
+        """Return a regrown rank to active supervision."""
+        if rank not in self.active:
+            self.active.append(rank)
+            self.active.sort()
+
+    # -- straggler offenses ------------------------------------------------------
+    def note_compute(self, rank: int, factor: float, now: float) -> None:
+        """Record one step's compute factor; counts offenses at/over the
+        threshold."""
+        if factor >= self.config.straggler_threshold:
+            self.offenses[rank] = self.offenses.get(rank, 0) + 1
+            if self.injector is not None:
+                self.injector.record(
+                    "straggler-offense", now, rank=rank,
+                    detail=f"factor={factor:.3f} "
+                           f"count={self.offenses[rank]}",
+                )
+
+    def over_limit(self, limit: int) -> list[int]:
+        """Active ranks with at least ``limit`` offenses (blacklist set)."""
+        if limit <= 0:
+            return []
+        return sorted(
+            r for r in self.active if self.offenses.get(r, 0) >= limit
+        )
+
+    def drop(self, rank: int) -> None:
+        """Remove a blacklisted rank from supervision (no regrow)."""
+        if rank in self.active:
+            self.active.remove(rank)
+        self.offenses.pop(rank, None)

@@ -56,3 +56,31 @@ class Adam(Optimizer):
     def state_bytes_per_param(self) -> int:
         """Adam keeps two fp32 moments per parameter (memory model input)."""
         return 8
+
+    # -- state round-trip -------------------------------------------------------
+    def _per_param_state(self) -> dict[str, list[np.ndarray]]:
+        m, v, t = [], [], []
+        for p in self.params:
+            key = id(p)
+            m.append(self._m.get(key, np.zeros_like(p.data)))
+            v.append(self._v.get(key, np.zeros_like(p.data)))
+            t.append(np.asarray(self._t.get(key, 0)))
+        return {"m": m, "v": v, "t": t}
+
+    def _load_per_param_state(self, per_param) -> None:
+        m, v, t = per_param["m"], per_param["v"], per_param["t"]
+        if not len(m) == len(v) == len(t) == len(self.params):
+            raise ConfigError(
+                f"Adam state for {len(m)} parameter(s) cannot restore into "
+                f"an optimizer over {len(self.params)}"
+            )
+        for p, m_i, v_i, t_i in zip(self.params, m, v, t):
+            if m_i.shape != p.data.shape:
+                raise ConfigError(
+                    f"Adam moment shape {m_i.shape} does not match parameter "
+                    f"shape {p.data.shape}"
+                )
+            key = id(p)
+            self._m[key] = np.array(m_i, dtype=p.data.dtype, copy=True)
+            self._v[key] = np.array(v_i, dtype=p.data.dtype, copy=True)
+            self._t[key] = int(t_i)

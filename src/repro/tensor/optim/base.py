@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
+
+import numpy as np
 
 from repro.errors import ConfigError
 from repro.tensor.nn.module import Parameter
@@ -34,3 +36,35 @@ class Optimizer:
 
     def _update(self, param: Parameter) -> None:
         raise NotImplementedError
+
+    # -- state round-trip -------------------------------------------------------
+    # Per-parameter state is keyed by *position* in ``self.params``, so a
+    # checkpoint restores into any optimizer built over the same model in
+    # the same registration order (parameter ids are process-local).
+    def state_dict(self) -> dict[str, Any]:
+        """Dynamic state only — hyperparameters stay with the constructor."""
+        return {
+            "lr": self.lr,
+            "step_count": self.step_count,
+            "per_param": self._per_param_state(),
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        self.lr = float(state["lr"])
+        self.step_count = int(state["step_count"])
+        per_param = state.get("per_param", {})
+        if per_param:
+            self._load_per_param_state(per_param)
+
+    def _per_param_state(self) -> dict[str, list[np.ndarray]]:
+        """Mapping slot-name -> one array per parameter (position-aligned)."""
+        return {}
+
+    def _load_per_param_state(
+        self, per_param: dict[str, Sequence[np.ndarray]]
+    ) -> None:
+        if per_param:
+            raise ConfigError(
+                f"{type(self).__name__} carries no per-parameter state but the "
+                f"checkpoint provides slots {sorted(per_param)}"
+            )

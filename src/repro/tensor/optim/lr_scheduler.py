@@ -27,6 +27,15 @@ class StepLR:
         decays = self.epoch // self.step_size
         self.optimizer.lr = self.base_lr * (self.gamma**decays)
 
+    def state_dict(self) -> dict:
+        return {"epoch": self.epoch, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
+        decays = self.epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma**decays)
+
 
 class MultiStepLR:
     """Multiply LR by ``gamma`` at each listed milestone."""
@@ -44,5 +53,14 @@ class MultiStepLR:
 
     def step(self) -> None:
         self.epoch += 1
+        passed = sum(1 for m in self.milestones if self.epoch >= m)
+        self.optimizer.lr = self.base_lr * (self.gamma**passed)
+
+    def state_dict(self) -> dict:
+        return {"epoch": self.epoch, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
         passed = sum(1 for m in self.milestones if self.epoch >= m)
         self.optimizer.lr = self.base_lr * (self.gamma**passed)

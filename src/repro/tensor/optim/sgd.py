@@ -41,3 +41,29 @@ class SGD(Optimizer):
             self._velocity[id(param)] = v
             grad = v
         param.data -= self.lr * grad
+
+    # -- state round-trip -------------------------------------------------------
+    def _per_param_state(self) -> dict[str, list[np.ndarray]]:
+        if not self.momentum:
+            return {}
+        return {
+            "velocity": [
+                self._velocity.get(id(p), np.zeros_like(p.data))
+                for p in self.params
+            ]
+        }
+
+    def _load_per_param_state(self, per_param) -> None:
+        velocity = per_param.get("velocity", [])
+        if len(velocity) != len(self.params):
+            raise ConfigError(
+                f"SGD velocity for {len(velocity)} parameter(s) cannot restore "
+                f"into an optimizer over {len(self.params)}"
+            )
+        for p, v in zip(self.params, velocity):
+            if v.shape != p.data.shape:
+                raise ConfigError(
+                    f"SGD velocity shape {v.shape} does not match parameter "
+                    f"shape {p.data.shape}"
+                )
+            self._velocity[id(p)] = np.array(v, dtype=p.data.dtype, copy=True)

@@ -1,4 +1,22 @@
-"""Model checkpointing (npz-based)."""
+"""Training-state checkpointing (npz-based).
+
+A checkpoint is one ``.npz`` carrying the model parameters *and* — when an
+optimizer / LR scheduler is passed — their full dynamic state (Adam
+moments and per-parameter step counts, SGD velocities, the scheduler's
+epoch and base LR).  Restarting from a checkpoint therefore resumes the
+exact optimization trajectory instead of silently replaying warmup from a
+stale optimizer.
+
+Backward compatibility: files written by older versions contain only the
+model parameters plus ``__step__``; loading one restores the model and
+leaves any supplied optimizer/scheduler untouched.  Reserved key prefixes
+(``__step__``, ``__opt__/``, ``__sched__/``) can never collide with model
+parameter names, which are dotted attribute paths.
+
+Higher-level orchestration — atomic writes, checksums, retention, and
+simulated write cost — lives in :mod:`repro.resilience.checkpoint`; these
+functions are the serialization layer it builds on.
+"""
 
 from __future__ import annotations
 
@@ -8,23 +26,87 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.tensor.nn.module import Module
+from repro.tensor.optim.base import Optimizer
+
+_OPT_PREFIX = "__opt__/"
+_SCHED_PREFIX = "__sched__/"
 
 
-def save_checkpoint(model: Module, path: str, *, step: int = 0) -> None:
-    """Write a model's parameters (plus the step counter) to ``path``."""
+def _flatten_optimizer(optimizer: Optimizer) -> dict[str, np.ndarray]:
+    state = optimizer.state_dict()
+    flat = {
+        f"{_OPT_PREFIX}lr": np.asarray(state["lr"]),
+        f"{_OPT_PREFIX}step_count": np.asarray(state["step_count"]),
+    }
+    for slot, arrays in state["per_param"].items():
+        for i, array in enumerate(arrays):
+            flat[f"{_OPT_PREFIX}per/{slot}/{i}"] = np.asarray(array)
+    return flat
+
+
+def _unflatten_optimizer(data, keys: list[str]) -> dict:
+    per_param: dict[str, dict[int, np.ndarray]] = {}
+    for key in keys:
+        tail = key[len(_OPT_PREFIX):]
+        if tail.startswith("per/"):
+            _, slot, index = tail.split("/")
+            per_param.setdefault(slot, {})[int(index)] = data[key]
+    return {
+        "lr": float(data[f"{_OPT_PREFIX}lr"]),
+        "step_count": int(data[f"{_OPT_PREFIX}step_count"]),
+        "per_param": {
+            slot: [arrays[i] for i in sorted(arrays)]
+            for slot, arrays in per_param.items()
+        },
+    }
+
+
+def save_checkpoint(
+    model: Module,
+    path: str,
+    *,
+    step: int = 0,
+    optimizer: Optimizer | None = None,
+    scheduler=None,
+) -> None:
+    """Write model (and optionally optimizer/scheduler) state to ``path``."""
     state = model.state_dict()
     state["__step__"] = np.asarray(step)
+    if optimizer is not None:
+        state.update(_flatten_optimizer(optimizer))
+    if scheduler is not None:
+        sched = scheduler.state_dict()
+        state[f"{_SCHED_PREFIX}epoch"] = np.asarray(sched["epoch"])
+        state[f"{_SCHED_PREFIX}base_lr"] = np.asarray(sched["base_lr"])
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     np.savez(path, **state)
 
 
-def load_checkpoint(model: Module, path: str) -> int:
-    """Load parameters into ``model``; returns the stored step counter."""
+def load_checkpoint(
+    model: Module,
+    path: str,
+    *,
+    optimizer: Optimizer | None = None,
+    scheduler=None,
+) -> int:
+    """Load state from ``path``; returns the stored step counter.
+
+    Restores the optimizer/scheduler when given one *and* the file carries
+    the corresponding state (old checkpoints don't — the model still loads).
+    """
     if not os.path.exists(path):
         raise ConfigError(f"checkpoint {path!r} does not exist")
     with np.load(path) as data:
-        state = {k: data[k] for k in data.files if k != "__step__"}
+        state = {k: data[k] for k in data.files if not k.startswith("__")}
         step = int(data["__step__"]) if "__step__" in data.files else 0
+        opt_keys = [k for k in data.files if k.startswith(_OPT_PREFIX)]
+        if optimizer is not None and opt_keys:
+            optimizer.load_state_dict(_unflatten_optimizer(data, opt_keys))
+        if scheduler is not None and f"{_SCHED_PREFIX}epoch" in data.files:
+            scheduler.load_state_dict({
+                "epoch": int(data[f"{_SCHED_PREFIX}epoch"]),
+                "base_lr": float(data[f"{_SCHED_PREFIX}base_lr"]),
+            })
     model.load_state_dict(state)
     return step

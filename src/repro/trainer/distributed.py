@@ -14,6 +14,8 @@ Both the *numerics* (replica synchrony, convergence) and the *timing*
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -22,7 +24,7 @@ import numpy as np
 from repro.data.dataset import SRDataset
 from repro.data.loader import PatchLoader
 from repro.data.sampler import DistributedSampler
-from repro.errors import ConfigError
+from repro.errors import CheckpointError, ConfigError
 from repro.horovod.coordinator import FaultTolerantCoordinator, ResiliencePolicy
 from repro.horovod.engine import HorovodEngine
 from repro.horovod.optimizer import (
@@ -30,9 +32,14 @@ from repro.horovod.optimizer import (
     broadcast_parameters,
     scale_learning_rate,
 )
+from repro.resilience.accounting import RecoveryAccounting
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.policy import RecoveryPolicy
+from repro.resilience.supervisor import HeartbeatSupervisor
 from repro.tensor import Tensor, functional as F
 from repro.tensor.nn.module import Module
 from repro.tensor.optim.adam import Adam
+from repro.trainer.checkpoint import load_checkpoint
 
 
 @dataclass
@@ -43,6 +50,8 @@ class DistributedTrainResult:
     total_images: int = 0
     # world size at each step (shrinks when a rank failure is absorbed)
     world_sizes: list[int] = field(default_factory=list)
+    # recovery cost ledger (None unless the trainer ran with a RecoveryPolicy)
+    resilience: RecoveryAccounting | None = None
 
     @property
     def final_loss(self) -> float:
@@ -73,6 +82,8 @@ class DistributedTrainer:
         faults=None,
         resilience: ResiliencePolicy | str = ResiliencePolicy.SHRINK,
         detect_timeout_s: float = 0.05,
+        recovery: RecoveryPolicy | None = None,
+        checkpoints: CheckpointManager | None = None,
     ):
         self.engine = engine
         num_ranks = engine.num_ranks
@@ -85,11 +96,27 @@ class DistributedTrainer:
             detect_timeout_s=detect_timeout_s,
             injector=faults,
         )
+        # elastic recovery orchestration (supersedes the coordinator path
+        # when a RecoveryPolicy is supplied)
+        self.recovery = recovery
+        self.checkpoints = checkpoints
+        self.supervisor = None
+        if recovery is not None:
+            self.supervisor = HeartbeatSupervisor(
+                range(num_ranks), faults, recovery.heartbeat
+            )
+            if recovery.restart and self.checkpoints is None:
+                self.checkpoints = CheckpointManager(
+                    tempfile.mkdtemp(prefix="repro-ckpt-"), recovery.checkpoint
+                )
+        self._model_factory = model_factory
+        self._clock = 0.0  # monotonic simulated time (survives replay rewinds)
         self.models = [model_factory(rank) for rank in range(num_ranks)]
         # charge each rank's HBM for its Horovod fusion buffer (§II-D step 2)
         engine.allocate_fusion_buffers()
         broadcast_parameters(self.models, engine)
         lr = scale_learning_rate(base_lr, num_ranks) if scale_lr else base_lr
+        self._lr = lr
         optimizers = [Adam(m.parameters(), lr=lr) for m in self.models]
         self.dist_opt = DistributedOptimizer(optimizers, self.models, engine)
         self.loaders = [
@@ -116,6 +143,8 @@ class DistributedTrainer:
         if steps < 1:
             raise ConfigError("steps must be >= 1")
         loss_fn = {"l1": F.l1_loss, "mse": F.mse_loss}[loss]
+        if self.recovery is not None:
+            return self._train_resilient(steps, loss_fn)
         result = DistributedTrainResult()
         rank_batches = [list(loader.batches(steps)) for loader in self.loaders]
         for step in range(steps):
@@ -154,6 +183,147 @@ class DistributedTrainer:
             result.steps += 1
             result.world_sizes.append(len(self.dist_opt.ranks))
             result.total_images += self.batch_per_rank * len(self.dist_opt.ranks)
+        return result
+
+    # -- elastic recovery path ---------------------------------------------------
+    def _save_checkpoint(
+        self, acct: RecoveryAccounting, steps_completed: int
+    ) -> None:
+        """Snapshot rank 0's replica (all replicas are in sync) and charge
+        the simulated write to the critical path."""
+        _, cost = self.checkpoints.save(
+            self.dist_opt.models[0],
+            steps_completed=steps_completed,
+            optimizer=self.dist_opt.optimizers[0],
+        )
+        self._clock += cost
+        acct.note_checkpoint(cost)
+
+    def _restart_from_checkpoint(
+        self, result: DistributedTrainResult, acct: RecoveryAccounting, step: int
+    ) -> int:
+        """Restore survivors from the newest valid checkpoint and rewind.
+
+        Truncates everything recorded past the checkpoint (that work is
+        replayed on the shrunk world), moves its time from the productive
+        bucket to lost work, and charges read-back + re-initialization to
+        recovery.  Returns the step index to resume from.
+        """
+        policy = self.recovery
+        entry = self.checkpoints.latest_valid()
+        if entry is None:
+            raise CheckpointError(
+                f"no valid checkpoint to restart from in "
+                f"{self.checkpoints.directory!r}"
+            )
+        ckpt_steps, path = entry
+        for model, opt in zip(self.dist_opt.models, self.dist_opt.optimizers):
+            load_checkpoint(model, path, optimizer=opt)
+        read_cost = self.checkpoints.policy.read_cost(os.path.getsize(path))
+        lost_steps = len(result.simulated_step_times) - ckpt_steps
+        if lost_steps > 0:
+            lost = sum(result.simulated_step_times[ckpt_steps:])
+            acct.productive_s -= lost
+            acct.note_lost_work(lost, steps=lost_steps)
+            del result.losses[ckpt_steps:]
+            del result.simulated_step_times[ckpt_steps:]
+            del result.world_sizes[ckpt_steps:]
+            step = ckpt_steps
+        acct.note_restart(read_cost + policy.restart_overhead_s)
+        self._clock += read_cost + policy.restart_overhead_s
+        if self.faults is not None:
+            self.faults.record(
+                "restart", self._clock,
+                detail=f"from step {ckpt_steps} "
+                       f"world={len(self.dist_opt.ranks)}",
+            )
+        return step
+
+    def _regrow_rank(self, rank: int, acct: RecoveryAccounting) -> None:
+        """Re-admit a recovered rank: fresh replica cloned from a survivor,
+        ring re-formed at the larger world."""
+        model = self._model_factory(rank)
+        model.load_state_dict(self.dist_opt.models[0].state_dict())
+        optimizer = Adam(model.parameters(), lr=self._lr)
+        optimizer.load_state_dict(self.dist_opt.optimizers[0].state_dict())
+        self.dist_opt.add_rank(rank, model, optimizer)
+        self.supervisor.readmit(rank)
+        acct.note_regrow(rank, self.recovery.restart_overhead_s)
+        self._clock += self.recovery.restart_overhead_s
+        if self.faults is not None:
+            self.faults.record(
+                "rank-regrown", self._clock, rank=rank,
+                detail=f"world={len(self.dist_opt.ranks)}",
+            )
+
+    def _train_resilient(self, steps: int, loss_fn) -> DistributedTrainResult:
+        """Orchestrated loop: watchdog detection, checkpoint/restart replay,
+        straggler blacklisting, elastic regrow — all costs itemized."""
+        policy = self.recovery
+        acct = RecoveryAccounting()
+        result = DistributedTrainResult(resilience=acct)
+        # batches are keyed by *original* rank so replay and regrow see the
+        # exact data the rank would have consumed
+        rank_batches = [list(loader.batches(steps)) for loader in self.loaders]
+        if self.checkpoints is not None:
+            self._save_checkpoint(acct, steps_completed=0)
+        step = 0
+        while step < steps:
+            now = self._clock
+            detections = self.supervisor.poll(now)
+            dead = [d for d in detections if d.rank in self.dist_opt.ranks]
+            for d in dead:
+                # survivors stall in the hung collective until the watchdog
+                # declares the rank dead
+                stall = max(0.0, d.declared_at - now)
+                self._clock += stall
+                acct.note_detection(stall)
+                self.dist_opt.drop_rank(d.rank)
+            if dead and policy.restart and self.checkpoints is not None:
+                step = self._restart_from_checkpoint(result, acct, step)
+            if policy.blacklist_after > 0:
+                for rank in self.supervisor.over_limit(policy.blacklist_after):
+                    if rank in self.dist_opt.ranks and len(self.dist_opt.ranks) > 1:
+                        self.dist_opt.drop_rank(rank)
+                        self.supervisor.drop(rank)
+                        acct.note_blacklist(rank)
+                        if self.faults is not None:
+                            self.faults.record(
+                                "rank-blacklisted", now, rank=rank,
+                                detail=f"offenses>={policy.blacklist_after}",
+                            )
+            if policy.regrow:
+                for rank in self.supervisor.recovered(self._clock):
+                    self._regrow_rank(rank, acct)
+            self.dist_opt.zero_grad()
+            losses = []
+            for rank, model in zip(self.dist_opt.ranks, self.dist_opt.models):
+                lr_batch, hr_batch = rank_batches[rank][step]
+                out = model(Tensor(lr_batch))
+                step_loss = loss_fn(out, Tensor(hr_batch))
+                step_loss.backward()
+                losses.append(step_loss.item())
+            backward = self.nominal_backward_s
+            if self.faults is not None:
+                worst = 1.0
+                for rank in self.dist_opt.ranks:
+                    factor = self.faults.compute_factor(rank, self._clock, step)
+                    self.supervisor.note_compute(rank, factor, self._clock)
+                    worst = max(worst, factor)
+                # synchronous data parallelism waits for the slowest rank
+                backward *= worst
+            timing = self.dist_opt.step(backward_time=backward)
+            step_time = backward / 2 + max(backward, timing.comm_finish)
+            result.losses.append(float(np.mean(losses)))
+            result.simulated_step_times.append(step_time)
+            result.world_sizes.append(len(self.dist_opt.ranks))
+            self._clock += step_time
+            acct.note_productive(step_time)
+            step += 1
+            if self.checkpoints is not None and self.checkpoints.policy.due(step):
+                self._save_checkpoint(acct, steps_completed=step)
+        result.steps = len(result.losses)
+        result.total_images = self.batch_per_rank * sum(result.world_sizes)
         return result
 
     def replicas_in_sync(self) -> bool:

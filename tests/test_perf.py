@@ -45,8 +45,11 @@ class TestCanonicalDigest:
 
     def test_salt_invalidates_wholesale(self):
         obj = {"gpus": 16}
-        assert canonical_digest(obj) != canonical_digest(obj, salt="repro-perf-v2")
-        assert CACHE_VERSION_SALT in ("repro-perf-v1",) or CACHE_VERSION_SALT
+        other = CACHE_VERSION_SALT + "-next"
+        assert canonical_digest(obj) != canonical_digest(obj, salt=other)
+        assert canonical_digest(obj) == canonical_digest(
+            obj, salt=CACHE_VERSION_SALT
+        )
 
     def test_floats_round_trip_exactly(self):
         # repr-based canonicalization: nearby floats must not collide
