@@ -201,6 +201,111 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Simulate inference serving under one or all routing policies."""
+    import json
+
+    from repro.faults import FaultPlan
+    from repro.serve import (
+        POLICY_NAMES,
+        AdmissionConfig,
+        AutoscalerConfig,
+        BatchingConfig,
+        ServeJob,
+        ServeScenario,
+        SLOConfig,
+        WorkloadConfig,
+        run_serve_jobs,
+        simulate_serve,
+    )
+
+    policies = list(POLICY_NAMES) if args.policy == "all" else [args.policy]
+    workload = WorkloadConfig(kind=args.workload, rate_rps=args.rate)
+    autoscaler = AutoscalerConfig(
+        enabled=not args.no_autoscale, max_replicas=args.max_replicas
+    )
+
+    def scenario_for(policy: str) -> ServeScenario:
+        return ServeScenario(
+            name=f"{args.workload}-{policy}",
+            model=args.model,
+            routing=policy,
+            initial_replicas=args.replicas,
+            workload=workload,
+            batching=BatchingConfig(
+                max_batch=args.max_batch,
+                timeout_s=args.batch_timeout_ms / 1e3,
+            ),
+            admission=AdmissionConfig(queue_capacity=args.queue_capacity),
+            autoscaler=autoscaler,
+            slo=SLOConfig(target_latency_s=args.slo_ms / 1e3),
+        )
+
+    plan = None
+    if args.fail:
+        plan = FaultPlan(
+            seed=args.seed, faults=tuple(_parse_failures(args.fail))
+        )
+
+    if args.trace:
+        # trace collection needs the live event list: run the first policy
+        # inline, bypassing the cache
+        from repro.profiling import write_chrome_trace
+
+        report = simulate_serve(
+            scenario_for(policies[0]),
+            duration_s=args.duration,
+            seed=args.seed,
+            fault_plan=plan,
+            collect_trace=True,
+        )
+        n = write_chrome_trace(args.trace, report.trace)
+        reports = [report]
+        print(f"chrome trace ({n} events) written to {args.trace}")
+        if len(policies) > 1:
+            jobs = [
+                ServeJob(scenario_for(p), duration_s=args.duration,
+                         seed=args.seed, fault_plan=plan)
+                for p in policies[1:]
+            ]
+            reports += run_serve_jobs(
+                jobs, workers=args.jobs, cache=_make_cache(args)
+            )
+    else:
+        jobs = [
+            ServeJob(scenario_for(p), duration_s=args.duration,
+                     seed=args.seed, fault_plan=plan)
+            for p in policies
+        ]
+        cache = _make_cache(args)
+        reports = run_serve_jobs(jobs, workers=args.jobs, cache=cache)
+        if cache.enabled:
+            stats = cache.stats()
+            print(
+                f"result cache: {stats['hits']} hit(s), "
+                f"{stats['misses']} miss(es) ({cache.directory})"
+            )
+
+    for report in reports:
+        print(
+            f"== serve {report.scenario} — policy {report.policy}, "
+            f"{report.duration_s:g} s, seed {report.seed} =="
+        )
+        for line in report.lines():
+            print(line)
+    if args.report:
+        payload = {
+            "kind": "serve-sweep",
+            "seed": args.seed,
+            "duration_s": args.duration,
+            "reports": [r.to_payload() for r in reports],
+        }
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"serving report written to {args.report}")
+    return 0
+
+
 def cmd_diagnose(args: argparse.Namespace) -> int:
     report = OptimizationPipeline(num_gpus=args.gpus, steps=args.steps).run()
     print(report.table())
@@ -287,6 +392,47 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--report", default=None,
                      help="write the JSON recovery report to this path")
     res.set_defaults(func=cmd_resilience)
+
+    serve = sub.add_parser(
+        "serve",
+        help="simulate SR inference serving (batching, routing, autoscaling)",
+    )
+    serve.add_argument("--policy", default="jsq",
+                       choices=["rr", "jsq", "least-loaded", "all"],
+                       help="routing policy, or 'all' to sweep every policy")
+    serve.add_argument("--workload", default="poisson",
+                       choices=["poisson", "diurnal", "bursty"])
+    serve.add_argument("--rate", type=float, default=25.0,
+                       help="mean arrival rate (requests/s)")
+    serve.add_argument("--duration", type=float, default=60.0,
+                       help="length of the arrival trace (simulated seconds)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--model", default="edsr-paper")
+    serve.add_argument("--replicas", type=int, default=2,
+                       help="initial replica count")
+    serve.add_argument("--max-replicas", type=int, default=8,
+                       help="autoscaler ceiling")
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--batch-timeout-ms", type=float, default=25.0)
+    serve.add_argument("--queue-capacity", type=int, default=64,
+                       help="bounded per-replica queue (admission control)")
+    serve.add_argument("--slo-ms", type=float, default=250.0,
+                       help="latency SLO target for goodput accounting")
+    serve.add_argument("--no-autoscale", action="store_true")
+    serve.add_argument("--fail", action="append", default=None,
+                       metavar="REPLICA@TIME[@DOWN]",
+                       help="kill a replica mid-run (repeatable); failover "
+                            "retries its orphaned requests")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for --policy all sweeps")
+    serve.add_argument("--no-cache", action="store_true")
+    serve.add_argument("--cache-dir", default=None)
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome trace_event JSON timeline "
+                            "(chrome://tracing / Perfetto)")
+    serve.add_argument("--report", default=None,
+                       help="write the JSON serving report to this path")
+    serve.set_defaults(func=cmd_serve)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("cache_command", choices=["stats", "clear"],

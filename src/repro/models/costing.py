@@ -277,6 +277,24 @@ class ThroughputModel:
         )
         return flops / effective + launch
 
+    def inference_time(self, batch: int) -> float:
+        """One forward-only (serving) pass over ``batch`` images, seconds.
+
+        No backward pass, and roughly a third of training's kernel count
+        (no weight-gradient or input-gradient kernels).
+        """
+        flops = self.cost.flops_forward * batch
+        effective = self.gpu.peak_fp32_flops * self.utilization(batch)
+        launch = (
+            self.cost.num_layers
+            * self.cost.kernels_per_layer
+            * self.gpu.kernel_launch_overhead_s
+        ) / 3.0
+        return flops / effective + launch
+
+    def inferences_per_second(self, batch: int) -> float:
+        return batch / self.inference_time(batch)
+
     def forward_time(self, batch: int) -> float:
         return self.step_time(batch) / 3.0
 

@@ -10,6 +10,12 @@ paper's Fig. 14 and Table I.
 from repro.profiling.bins import PAPER_BINS, SizeBin, bin_for
 from repro.profiling.hvprof import FaultRecord, Hvprof
 from repro.profiling.report import comparison_table, improvement_summary
+from repro.profiling.trace_export import (
+    TraceEvent,
+    chrome_trace,
+    hvprof_trace_events,
+    write_chrome_trace,
+)
 
 __all__ = [
     "SizeBin",
@@ -19,4 +25,8 @@ __all__ = [
     "FaultRecord",
     "comparison_table",
     "improvement_summary",
+    "TraceEvent",
+    "chrome_trace",
+    "hvprof_trace_events",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,116 @@
+"""Chrome ``trace_event`` JSON export for serving and hvprof timelines.
+
+Writes the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_:
+a JSON object with a ``traceEvents`` array of complete (``ph: "X"``) and
+instant (``ph: "i"``) events, timestamps in microseconds.
+
+Two producers feed it:
+
+* the serving simulator (``repro serve --trace PATH``) emits real
+  timeline spans — batches per replica lane, cold starts, failovers,
+  autoscaler decisions — with true simulation timestamps;
+* :class:`~repro.profiling.Hvprof` records carry durations but no start
+  times (the profiler aggregates, it does not trace), so
+  :func:`hvprof_trace_events` synthesizes a *concatenated* timeline: ops
+  are laid end-to-end per backend lane in record order.  Lane offsets are
+  synthetic; durations and ordering are real.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One Chrome trace event (complete span or instant)."""
+
+    name: str
+    ts_us: float
+    pid: str = "repro"
+    tid: str = "main"
+    ph: str = "X"
+    dur_us: float = 0.0
+    cat: str = ""
+    args: dict | None = field(default=None, compare=False)
+
+    def to_chrome(self) -> dict:
+        event = {
+            "name": self.name,
+            "ph": self.ph,
+            "ts": self.ts_us,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.cat:
+            event["cat"] = self.cat
+        if self.ph == "X":
+            event["dur"] = self.dur_us
+        if self.ph == "i":
+            event["s"] = "t"  # thread-scoped instant
+        if self.args:
+            event["args"] = self.args
+        return event
+
+
+def chrome_trace(events: list[TraceEvent]) -> dict:
+    """The full ``chrome://tracing`` JSON object (stable event order)."""
+    ordered = sorted(
+        events, key=lambda e: (e.ts_us, e.pid, e.tid, e.name)
+    )
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": [e.to_chrome() for e in ordered],
+    }
+
+
+def write_chrome_trace(path: str, events: list[TraceEvent]) -> int:
+    """Write the trace JSON; returns the number of events written."""
+    payload = chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+        fh.write("\n")
+    return len(payload["traceEvents"])
+
+
+def hvprof_trace_events(hvprof, *, pid: str = "hvprof") -> list[TraceEvent]:
+    """Synthesized per-backend timeline of an :class:`Hvprof`'s records.
+
+    Each backend gets its own lane; ops are concatenated in record order
+    (hvprof does not retain start times).  Injected-fault records become
+    instant events on a ``faults`` lane at their true timestamps.
+    """
+    events: list[TraceEvent] = []
+    offsets: dict[str, float] = {}
+    for record in hvprof.records:
+        lane = record.backend or "ops"
+        start = offsets.get(lane, 0.0)
+        events.append(
+            TraceEvent(
+                name=f"{record.op} [{record.algorithm}]",
+                ph="X",
+                ts_us=start * 1e6,
+                dur_us=record.time * 1e6,
+                pid=pid,
+                tid=lane,
+                cat="collective",
+                args={"nbytes": record.nbytes},
+            )
+        )
+        offsets[lane] = start + record.time
+    for fault in hvprof.fault_records:
+        events.append(
+            TraceEvent(
+                name=fault.kind,
+                ph="i",
+                ts_us=fault.time * 1e6,
+                pid=pid,
+                tid="faults",
+                cat="fault",
+                args={"detail": fault.detail} if fault.detail else None,
+            )
+        )
+    return events

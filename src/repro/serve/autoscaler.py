@@ -1,0 +1,73 @@
+"""Reactive queue-depth autoscaling of the replica pool.
+
+The autoscaler polls total queue depth every ``poll_interval_s`` of
+simulated time and compares the *per-replica* depth against two
+thresholds: above ``scale_up_at`` it adds one replica (paying the full
+cold-start cost — checkpoint read plus weight broadcast — before the new
+replica takes traffic), below ``scale_down_at`` it retires one idle
+replica.  A shared ``cooldown_s`` between actions damps oscillation.
+
+The decision function is pure (state in, action out), so it is unit
+testable without the event engine and adds no nondeterminism to runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Reactive scaling thresholds and limits."""
+
+    enabled: bool = True
+    min_replicas: int = 1
+    max_replicas: int = 8
+    #: add a replica when queued requests per replica exceed this
+    scale_up_at: float = 4.0
+    #: retire one when queued requests per replica fall below this
+    scale_down_at: float = 0.5
+    poll_interval_s: float = 1.0
+    cooldown_s: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ConfigError(
+                f"min_replicas must be >= 1, got {self.min_replicas}"
+            )
+        if self.max_replicas < self.min_replicas:
+            raise ConfigError(
+                f"max_replicas ({self.max_replicas}) must be >= "
+                f"min_replicas ({self.min_replicas})"
+            )
+        if self.scale_down_at < 0 or self.scale_up_at <= self.scale_down_at:
+            raise ConfigError(
+                "need scale_up_at > scale_down_at >= 0, got "
+                f"up={self.scale_up_at} down={self.scale_down_at}"
+            )
+        if self.poll_interval_s <= 0:
+            raise ConfigError("poll_interval_s must be > 0")
+        if self.cooldown_s < 0:
+            raise ConfigError("cooldown_s must be >= 0")
+
+    def decide(
+        self,
+        *,
+        queued: int,
+        replicas: int,
+        now: float,
+        last_action_at: float,
+    ) -> int:
+        """+1 grow, -1 shrink, 0 hold — pure function of observed state."""
+        if not self.enabled or replicas < 1:
+            return 0
+        if now - last_action_at < self.cooldown_s:
+            return 0
+        per_replica = queued / replicas
+        if per_replica > self.scale_up_at and replicas < self.max_replicas:
+            return +1
+        if per_replica < self.scale_down_at and replicas > self.min_replicas:
+            return -1
+        return 0

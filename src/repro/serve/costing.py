@@ -1,0 +1,108 @@
+"""Serving-side cost model: batch latency and replica cold-start.
+
+Per-batch GPU latency comes from the same calibrated V100 throughput model
+the trainer uses (:mod:`repro.models.costing`), evaluated forward-only.
+Batches may mix patch sizes and upscale factors; the smaller patches are
+padded up to the largest shape in the batch before the fused launch, so
+the whole batch is charged at the maximum (patch, scale) it contains —
+the padding-aware rule the batcher's mixing behaviour is priced under.
+
+Replica cold-start reuses the resilience layer's storage model: bringing
+a new replica online reads the serving checkpoint from the parallel
+filesystem (:meth:`repro.resilience.CheckpointPolicy.read_cost` over the
+model's parameter bytes — the same cost the trainer pays on restart) and
+then broadcasts the weights to the replica's GPU over the simulated
+inter-node interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable
+
+from repro.errors import ConfigError
+from repro.hardware.specs import ClusterSpec, GpuSpec, LASSEN
+from repro.models.costing import ModelCostModel, ThroughputModel
+from repro.models.edsr import (
+    EDSR_BASELINE,
+    EDSR_PAPER,
+    EDSR_PAPER_TEXT,
+    EDSR_TINY,
+    EDSRConfig,
+)
+from repro.resilience.checkpoint import CheckpointPolicy
+from repro.serve.workload import Request, RequestClass
+
+_EDSR_CONFIGS: dict[str, EDSRConfig] = {
+    c.name: c for c in (EDSR_PAPER, EDSR_BASELINE, EDSR_PAPER_TEXT, EDSR_TINY)
+}
+
+
+def serving_model_config(model: str) -> EDSRConfig:
+    """The EDSR preset behind a servable model name."""
+    try:
+        return _EDSR_CONFIGS[model]
+    except KeyError:
+        raise ConfigError(
+            f"unknown servable model {model!r}; available: "
+            f"{sorted(_EDSR_CONFIGS)}"
+        ) from None
+
+
+class ServingCostModel:
+    """Maps (model, GPU, batch composition) to per-batch latency."""
+
+    def __init__(
+        self,
+        model: str = "edsr-paper",
+        *,
+        gpu: GpuSpec | None = None,
+        cluster: ClusterSpec | None = None,
+    ):
+        self.model = model
+        self.base_config = serving_model_config(model)
+        self.cluster = cluster or LASSEN
+        self.gpu = gpu or self.cluster.node.gpu
+        self._throughput: dict[tuple[int, int], ThroughputModel] = {}
+
+    # -- per-shape throughput models ----------------------------------------
+    def _model_for(self, patch: int, scale: int) -> ThroughputModel:
+        key = (patch, scale)
+        tm = self._throughput.get(key)
+        if tm is None:
+            config = replace(
+                self.base_config,
+                name=f"{self.base_config.name}@{patch}x{scale}",
+                scale=scale,
+            )
+            cost = ModelCostModel.for_edsr(config, patch=patch)
+            tm = ThroughputModel(cost, self.gpu)
+            self._throughput[key] = tm
+        return tm
+
+    @property
+    def param_bytes(self) -> int:
+        # parameter count does not depend on the patch size
+        return self._model_for(48, self.base_config.scale).cost.param_bytes
+
+    # -- latency ------------------------------------------------------------
+    def request_latency(self, cls: RequestClass) -> float:
+        """Single-request (batch-of-one) latency; the router's load unit."""
+        return self._model_for(cls.patch, cls.scale).inference_time(1)
+
+    def batch_latency(self, batch: Iterable[Request]) -> float:
+        """Padding-aware latency of one fused batch launch."""
+        requests = list(batch)
+        if not requests:
+            raise ConfigError("batch_latency of an empty batch")
+        patch = max(r.cls.patch for r in requests)
+        scale = max(r.cls.scale for r in requests)
+        return self._model_for(patch, scale).inference_time(len(requests))
+
+    # -- cold start ---------------------------------------------------------
+    def cold_start_s(self, checkpoint: CheckpointPolicy) -> float:
+        """Checkpoint read + weight broadcast to bring one replica online."""
+        nbytes = self.param_bytes
+        read = checkpoint.read_cost(nbytes)
+        broadcast = self.cluster.ib.transfer_time(nbytes)
+        return read + broadcast

@@ -1,0 +1,112 @@
+"""Front-end routing: pluggable placement + admission control.
+
+A routing policy picks the replica for each incoming request among the
+replicas that are *routable* — warm, not retired, not yet declared dead
+(a dead-but-undeclared replica still receives traffic: the router cannot
+know until the watchdog declares the failure, which is exactly the
+detection-latency window the resilience layer models) — and whose bounded
+queue still has room.  When no routable replica has room, the request is
+shed at admission (load-shedding backpressure) and recorded in the SLO
+ledger; nothing is silently dropped.
+
+Policies are deterministic: ties break toward the lowest replica id, and
+round-robin keeps an explicit cursor, so two runs of the same scenario
+route identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Bounded per-replica queue; arrivals beyond it are shed."""
+
+    queue_capacity: int = 64
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ConfigError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+
+
+class RoutableReplica(Protocol):
+    """What a routing policy may observe about a replica."""
+
+    id: int
+
+    def queue_len(self) -> int: ...
+
+    def backlog_s(self, now: float) -> float: ...
+
+
+class RoundRobin:
+    """Cycle through routable replicas in id order."""
+
+    name = "rr"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(
+        self, replicas: Sequence[RoutableReplica], now: float
+    ) -> RoutableReplica | None:
+        if not replicas:
+            return None
+        ordered = sorted(replicas, key=lambda r: r.id)
+        pick = ordered[self._cursor % len(ordered)]
+        self._cursor += 1
+        return pick
+
+
+class JoinShortestQueue:
+    """Route to the replica with the fewest queued requests."""
+
+    name = "jsq"
+
+    def choose(
+        self, replicas: Sequence[RoutableReplica], now: float
+    ) -> RoutableReplica | None:
+        if not replicas:
+            return None
+        return min(replicas, key=lambda r: (r.queue_len(), r.id))
+
+
+class LeastLoaded:
+    """Route on estimated backlog seconds (queued work + residual busy)."""
+
+    name = "least-loaded"
+
+    def choose(
+        self, replicas: Sequence[RoutableReplica], now: float
+    ) -> RoutableReplica | None:
+        if not replicas:
+            return None
+        return min(replicas, key=lambda r: (r.backlog_s(now), r.id))
+
+
+#: canonical names plus common aliases
+ROUTING_POLICIES = {
+    "rr": RoundRobin,
+    "round-robin": RoundRobin,
+    "jsq": JoinShortestQueue,
+    "join-shortest-queue": JoinShortestQueue,
+    "least-loaded": LeastLoaded,
+}
+
+#: the canonical spelling of each distinct policy
+POLICY_NAMES = ("rr", "jsq", "least-loaded")
+
+
+def make_routing_policy(name: str):
+    try:
+        return ROUTING_POLICIES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown routing policy {name!r}; available: {sorted(ROUTING_POLICIES)}"
+        ) from None

@@ -1,0 +1,509 @@
+"""Discrete-event SR inference-serving simulation.
+
+Runs one serving scenario — workload, batching, routing, admission,
+autoscaling, SLO — on the event engine that powers the training
+simulations, against the same calibrated V100 cost model.  The moving
+parts:
+
+* an **arrival process** replays the pre-generated trace into the router;
+* each **replica** runs a server process: dynamic batcher in front, one
+  fused forward launch per batch, per-batch latency from
+  :class:`~repro.serve.costing.ServingCostModel`;
+* the **router** places each request on a routable replica (policy
+  pluggable) or sheds it when every bounded queue is full;
+* the **autoscaler** grows/shrinks the pool against queue depth, paying
+  checkpoint-read + weight-broadcast cold start for every new replica;
+* **failures** come from an ordinary :class:`~repro.faults.FaultPlan`
+  (``RankFailure.rank`` is the replica id): a dead replica black-holes
+  its queue until the :class:`~repro.resilience.HeartbeatConfig` watchdog
+  declares it, then every orphaned request is retried through the router
+  (failover) and, under ``RecoveryPolicy.restart``, a replacement replica
+  is spawned.
+
+Everything is deterministic: the trace is seed-derived, the event heap is
+totally ordered, policies break ties by replica id, and the run ends when
+every arrival is resolved — so two runs of the same scenario produce
+byte-identical SLO ledgers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, SimulationError
+from repro.faults import FaultInjector, FaultPlan
+from repro.resilience import RESTART_FROM_CHECKPOINT, RecoveryPolicy
+from repro.serve.autoscaler import AutoscalerConfig
+from repro.serve.batcher import BatchingConfig, DynamicBatcher
+from repro.serve.costing import ServingCostModel
+from repro.serve.router import AdmissionConfig, make_routing_policy
+from repro.serve.slo import SLOConfig, SLOLedger
+from repro.serve.workload import Request, WorkloadConfig, generate_arrivals
+from repro.sim import Environment, Interrupt
+
+# replica lifecycle states
+WARMING = "warming"
+HEALTHY = "healthy"
+DEAD = "dead"
+RETIRED = "retired"
+
+
+@dataclass(frozen=True)
+class ServeScenario:
+    """Frozen, digest-able description of one serving experiment."""
+
+    name: str = "default"
+    model: str = "edsr-paper"
+    routing: str = "jsq"
+    initial_replicas: int = 2
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    batching: BatchingConfig = field(default_factory=BatchingConfig)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    slo: SLOConfig = field(default_factory=SLOConfig)
+
+    def __post_init__(self) -> None:
+        if self.initial_replicas < 1:
+            raise ConfigError(
+                f"initial_replicas must be >= 1, got {self.initial_replicas}"
+            )
+
+
+@dataclass
+class ServeReport:
+    """Result of one serving run (the ledger summary is the payload)."""
+
+    scenario: str
+    policy: str
+    model: str
+    duration_s: float
+    seed: int
+    summary: dict
+    #: live objects, only present on inline (non-cached) runs
+    ledger: SLOLedger | None = None
+    trace: list | None = None
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": "serve-report",
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "model": self.model,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "summary": self.summary,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ServeReport":
+        return cls(
+            scenario=payload["scenario"],
+            policy=payload["policy"],
+            model=payload["model"],
+            duration_s=payload["duration_s"],
+            seed=payload["seed"],
+            summary=payload["summary"],
+        )
+
+    def lines(self) -> list[str]:
+        """Human-readable itemization for reports and the CLI."""
+        s = self.summary
+        lat = s["latency_ms"]
+        return [
+            f"requests           {s['arrived']:6d} arrived, "
+            f"{s['completed']} completed, {s['shed']} shed, "
+            f"{s['retried_requests']} retried",
+            f"throughput         {s['throughput_rps']:10.2f} req/s "
+            f"(goodput {s['goodput_rps']:.2f} req/s, "
+            f"SLO attainment {s['slo_attainment']:.1%})",
+            f"latency (ms)       p50 {lat['p50']:.2f}  p95 {lat['p95']:.2f}  "
+            f"p99 {lat['p99']:.2f}  p999 {lat['p999']:.2f}",
+            f"utilization        {s['utilization']:10.1%}",
+            f"elasticity         {s['cold_starts']} cold start(s) "
+            f"({s['cold_start_s']:.3f} s), {s['detections']} failure(s) "
+            f"detected",
+        ]
+
+
+class _Replica:
+    """Mutable per-replica simulation state."""
+
+    __slots__ = (
+        "id", "state", "retiring", "declared", "batcher", "in_flight",
+        "wake", "proc", "busy_s", "queued_work_s", "busy_until",
+        "warmed_at", "ended_at",
+    )
+
+    def __init__(self, rid: int, batching: BatchingConfig):
+        self.id = rid
+        self.state = WARMING
+        self.retiring = False
+        self.declared = False
+        self.batcher = DynamicBatcher(batching)
+        self.in_flight: list[Request] = []
+        self.wake = None
+        self.proc = None
+        self.busy_s = 0.0
+        self.queued_work_s = 0.0
+        self.busy_until = 0.0
+        self.warmed_at: float | None = None
+        self.ended_at: float | None = None
+
+    # the RoutableReplica protocol ------------------------------------------
+    def queue_len(self) -> int:
+        return len(self.batcher)
+
+    def backlog_s(self, now: float) -> float:
+        return self.queued_work_s + max(0.0, self.busy_until - now)
+
+    @property
+    def accepting(self) -> bool:
+        """Routable: not retired/retiring, not *declared* dead.
+
+        A dead-but-undeclared replica still takes traffic — the router
+        cannot know better until the watchdog speaks.  That queue is
+        failed over at declaration time.
+        """
+        return (
+            not self.retiring
+            and not self.declared
+            and self.state in (HEALTHY, DEAD)
+        )
+
+
+class _ServeSimulation:
+    """One scenario wired onto an :class:`Environment`."""
+
+    def __init__(
+        self,
+        scenario: ServeScenario,
+        *,
+        duration_s: float,
+        seed: int,
+        fault_plan: FaultPlan | None,
+        recovery: RecoveryPolicy,
+        collect_trace: bool,
+    ):
+        self.scenario = scenario
+        self.duration_s = float(duration_s)
+        self.seed = int(seed)
+        self.recovery = recovery
+        self.env = Environment()
+        self.cost = ServingCostModel(scenario.model)
+        self.policy = make_routing_policy(scenario.routing)
+        self.ledger = SLOLedger(scenario.slo)
+        self.injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        self.requests = generate_arrivals(
+            scenario.workload, self.duration_s, self.seed
+        )
+        self.replicas: dict[int, _Replica] = {}
+        self._next_rid = 0
+        self.outstanding = 0
+        self.arrivals_done = False
+        self.done = self.env.event("serve-done")
+        # bail-out horizon for the autoscaler loop: far beyond any sane
+        # drain time, so a stuck request surfaces as DeadlockError
+        self._hard_deadline = self.duration_s * 4.0 + 300.0
+        self.trace: list | None = [] if collect_trace else None
+
+    # -- tracing ---------------------------------------------------------------
+    def _trace(self, name, *, ph="i", ts=None, dur=0.0, tid="router", args=None):
+        if self.trace is None:
+            return
+        from repro.profiling.trace_export import TraceEvent
+
+        self.trace.append(
+            TraceEvent(
+                name=name,
+                ph=ph,
+                ts_us=(self.env.now if ts is None else ts) * 1e6,
+                dur_us=dur * 1e6,
+                pid="repro-serve",
+                tid=tid,
+                cat="serve",
+                args=args,
+            )
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+    def spawn_replica(self, *, cold_start_s: float = 0.0, reason: str = "initial") -> _Replica:
+        rep = _Replica(self._next_rid, self.scenario.batching)
+        self._next_rid += 1
+        self.replicas[rep.id] = rep
+        rep.proc = self.env.process(
+            self._replica_proc(rep, cold_start_s), name=f"replica-{rep.id}"
+        )
+        if cold_start_s > 0:
+            self._trace(
+                f"cold-start ({reason})", ph="X", dur=cold_start_s,
+                tid=f"replica-{rep.id}",
+            )
+        return rep
+
+    def _replica_proc(self, rep: _Replica, cold_start_s: float):
+        env = self.env
+        try:
+            if cold_start_s > 0:
+                yield env.timeout(cold_start_s)
+            rep.state = HEALTHY
+            rep.warmed_at = env.now
+            while True:
+                if rep.retiring and not len(rep.batcher):
+                    break
+                if not len(rep.batcher):
+                    rep.wake = env.event(f"wake:replica-{rep.id}")
+                    yield rep.wake
+                    rep.wake = None
+                    continue
+                if not rep.batcher.ready(env.now):
+                    deadline = rep.batcher.next_deadline()
+                    rep.wake = env.event(f"wake:replica-{rep.id}")
+                    yield env.any_of(
+                        [rep.wake, env.timeout(max(0.0, deadline - env.now))]
+                    )
+                    rep.wake = None
+                    continue
+                batch = rep.batcher.pop_batch(env.now)
+                for req in batch:
+                    rep.queued_work_s = max(
+                        0.0,
+                        rep.queued_work_s - self.cost.request_latency(req.cls),
+                    )
+                rep.in_flight = batch
+                latency = self.cost.batch_latency(batch)
+                start = env.now
+                rep.busy_until = start + latency
+                yield env.timeout(latency)
+                rep.busy_s += latency
+                self._trace(
+                    f"batch[{len(batch)}]", ph="X", ts=start, dur=latency,
+                    tid=f"replica-{rep.id}",
+                    args={"requests": len(batch)},
+                )
+                done_batch, rep.in_flight = rep.in_flight, []
+                for req in done_batch:
+                    self.ledger.note_completed(req, env.now)
+                    self._resolve_one()
+            rep.state = RETIRED
+            rep.ended_at = env.now
+        except Interrupt:
+            # killed by the failure process; orphans are failed over at
+            # declaration time
+            return
+
+    # -- routing ---------------------------------------------------------------
+    def _routable(self) -> list[_Replica]:
+        cap = self.scenario.admission.queue_capacity
+        return [
+            rep
+            for rep in self.replicas.values()
+            if rep.accepting and len(rep.batcher) < cap
+        ]
+
+    def route(self, request: Request) -> None:
+        """Place (or shed) one request at the current instant."""
+        target = self.policy.choose(self._routable(), self.env.now)
+        if target is None:
+            self.ledger.note_shed(request, self.env.now)
+            self._trace(
+                "shed", args={"rid": request.rid, "class": request.cls.name}
+            )
+            self._resolve_one()
+            return
+        target.batcher.enqueue(request, self.env.now)
+        target.queued_work_s += self.cost.request_latency(request.cls)
+        if target.wake is not None and not target.wake.triggered:
+            target.wake.succeed()
+
+    # -- processes -------------------------------------------------------------
+    def _arrivals_proc(self):
+        env = self.env
+        for request in self.requests:
+            if request.arrival > env.now:
+                yield env.timeout(request.arrival - env.now)
+            self.outstanding += 1
+            self.ledger.note_arrival(request)
+            self.route(request)
+        self.arrivals_done = True
+        self._maybe_done()
+
+    def _resolve_one(self) -> None:
+        self.outstanding -= 1
+        self._maybe_done()
+
+    def _maybe_done(self) -> None:
+        if (
+            self.arrivals_done
+            and self.outstanding == 0
+            and not self.done.triggered
+        ):
+            self.done.succeed()
+
+    def _failure_proc(self):
+        env = self.env
+        failures = sorted(
+            self.injector.plan.failures, key=lambda f: (f.time, f.rank)
+        )
+        for spec in failures:
+            if spec.time > env.now:
+                yield env.timeout(spec.time - env.now)
+            rep = self.replicas.get(spec.rank)
+            if rep is None or rep.state in (DEAD, RETIRED):
+                continue
+            rep.state = DEAD
+            rep.ended_at = env.now
+            if rep.proc is not None and rep.proc.is_alive:
+                rep.proc.interrupt("rank-failure")
+            self.injector.record(
+                "rank-failure", env.now, rank=rep.id,
+                detail=f"replica-{rep.id}",
+            )
+            self._trace("replica-failed", tid=f"replica-{rep.id}")
+            declared_at = self.recovery.heartbeat.declared_at(spec.time)
+            env.process(
+                self._declare_proc(rep, declared_at),
+                name=f"declare-{rep.id}",
+            )
+
+    def _declare_proc(self, rep: _Replica, declared_at: float):
+        env = self.env
+        if declared_at > env.now:
+            yield env.timeout(declared_at - env.now)
+        rep.declared = True
+        self.ledger.note_detection()
+        if self.injector is not None:
+            self.injector.record(
+                "replica-dead", env.now, rank=rep.id,
+                detail=f"declared after "
+                       f"{env.now - (rep.ended_at or env.now):.4f}s",
+            )
+        self._trace("replica-declared-dead", tid=f"replica-{rep.id}")
+        orphans = rep.in_flight + rep.batcher.drain()
+        rep.in_flight = []
+        rep.queued_work_s = 0.0
+        for request in orphans:
+            self.ledger.note_retry(request, env.now)
+            self._trace(
+                "failover-retry",
+                args={"rid": request.rid, "from": rep.id},
+            )
+            self.route(request)
+        if self.recovery.restart:
+            pool = sum(
+                1
+                for r in self.replicas.values()
+                if r.state in (WARMING, HEALTHY) and not r.retiring
+            )
+            if pool < self.scenario.autoscaler.max_replicas:
+                cold = (
+                    self.recovery.restart_overhead_s
+                    + self.cost.cold_start_s(self.recovery.checkpoint)
+                )
+                self.ledger.note_cold_start(cold)
+                self.spawn_replica(cold_start_s=cold, reason="failover")
+
+    def _autoscaler_proc(self):
+        env = self.env
+        cfg = self.scenario.autoscaler
+        last_action = -math.inf
+        while env.now < self._hard_deadline:
+            yield env.timeout(cfg.poll_interval_s)
+            if self.done.triggered:
+                break
+            pool = [
+                rep
+                for rep in self.replicas.values()
+                if rep.state in (WARMING, HEALTHY) and not rep.retiring
+            ]
+            # in-flight requests count as load: a saturated pool whose
+            # batchers happen to be empty must not look idle to scale-down
+            queued = sum(len(rep.batcher) + len(rep.in_flight) for rep in pool)
+            action = cfg.decide(
+                queued=queued,
+                replicas=len(pool),
+                now=env.now,
+                last_action_at=last_action,
+            )
+            if action > 0:
+                cold = self.cost.cold_start_s(self.recovery.checkpoint)
+                self.ledger.note_cold_start(cold)
+                self.spawn_replica(cold_start_s=cold, reason="scale-up")
+                self._trace("scale-up", tid="autoscaler",
+                            args={"queued": queued, "pool": len(pool)})
+                last_action = env.now
+            elif action < 0:
+                idle = [
+                    rep
+                    for rep in pool
+                    if rep.state == HEALTHY
+                    and not len(rep.batcher)
+                    and not rep.in_flight
+                ]
+                if idle:
+                    victim = max(idle, key=lambda r: r.id)
+                    victim.retiring = True
+                    if victim.wake is not None and not victim.wake.triggered:
+                        victim.wake.succeed()
+                    self._trace("scale-down", tid="autoscaler",
+                                args={"replica": victim.id})
+                    last_action = env.now
+
+    # -- run -------------------------------------------------------------------
+    def run(self) -> ServeReport:
+        env = self.env
+        for _ in range(self.scenario.initial_replicas):
+            self.spawn_replica()
+        env.process(self._arrivals_proc(), name="arrivals")
+        if self.scenario.autoscaler.enabled:
+            env.process(self._autoscaler_proc(), name="autoscaler")
+        if self.injector is not None and self.injector.plan.failures:
+            env.process(self._failure_proc(), name="failures")
+        env.run(until=self.done)
+        makespan = max(self.duration_s, env.now)
+        for rep in self.replicas.values():
+            if rep.warmed_at is None:
+                continue
+            end = rep.ended_at if rep.ended_at is not None else makespan
+            self.ledger.note_replica_usage(
+                rep.id, rep.busy_s, max(0.0, end - rep.warmed_at)
+            )
+        summary = self.ledger.finalize(makespan)
+        counts = summary["completed"] + summary["shed"]
+        if counts != summary["arrived"]:
+            raise SimulationError(
+                f"ledger accounted {counts} of {summary['arrived']} requests"
+            )
+        return ServeReport(
+            scenario=self.scenario.name,
+            policy=self.scenario.routing,
+            model=self.scenario.model,
+            duration_s=self.duration_s,
+            seed=self.seed,
+            summary=summary,
+            ledger=self.ledger,
+            trace=self.trace,
+        )
+
+
+def simulate_serve(
+    scenario: ServeScenario,
+    *,
+    duration_s: float = 60.0,
+    seed: int = 0,
+    fault_plan: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
+    collect_trace: bool = False,
+) -> ServeReport:
+    """Run one serving scenario to completion and return its report."""
+    sim = _ServeSimulation(
+        scenario,
+        duration_s=duration_s,
+        seed=seed,
+        fault_plan=fault_plan,
+        recovery=recovery or RESTART_FROM_CHECKPOINT,
+        collect_trace=collect_trace,
+    )
+    return sim.run()

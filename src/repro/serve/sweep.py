@@ -1,0 +1,111 @@
+"""Policy sweeps: independent serving runs across worker processes.
+
+Mirrors :mod:`repro.perf.parallel` for the serving tier: a sweep is a bag
+of independent :class:`ServeJob`\\ s (scenario x duration x seed x fault
+plan), fanned out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+and merged in submission order, with the content-addressed result cache
+consulted and populated in the parent process only.
+
+The digest preimage is keyed ``"serve-point"`` (vs the training sweeps'
+``"scaling-point"``) and covers every serving knob — workload, batching,
+routing policy, admission, autoscaler, SLO, model, duration, seed, env
+knobs, fault plan, recovery policy, and the cache version salt — so a
+cached serving result can never alias a training result or a run with any
+knob changed.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.perf.cache import ResultCache
+from repro.perf.digest import canonical_digest, env_knobs
+from repro.serve.simulator import ServeReport, ServeScenario, simulate_serve
+
+
+@dataclass(frozen=True)
+class ServeJob:
+    """One serving run (all-frozen fields, cheap to pickle)."""
+
+    scenario: ServeScenario
+    duration_s: float = 60.0
+    seed: int = 0
+    fault_plan: object | None = None
+    recovery: object | None = None
+
+
+def serve_digest(job: ServeJob) -> str:
+    """Content address of the report this job would produce."""
+    return canonical_digest(
+        {
+            "kind": "serve-point",
+            "scenario": job.scenario,
+            "duration_s": job.duration_s,
+            "seed": job.seed,
+            "env": env_knobs(),
+            "fault_plan": job.fault_plan,
+            "recovery": job.recovery,
+        }
+    )
+
+
+def _execute(job: ServeJob) -> ServeReport:
+    """Worker entry point (module level so it pickles under spawn)."""
+    report = simulate_serve(
+        job.scenario,
+        duration_s=job.duration_s,
+        seed=job.seed,
+        fault_plan=job.fault_plan,
+        recovery=job.recovery,
+    )
+    # strip live objects: sweep results are summaries, identical whether
+    # they came from a worker pickle, an inline run, or the cache
+    report.ledger = None
+    report.trace = None
+    return report
+
+
+def run_serve_jobs(
+    jobs: Sequence[ServeJob],
+    *,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[ServeReport]:
+    """Run every job; results come back in input order regardless of
+    worker completion order, and cached reports are byte-identical to
+    freshly simulated ones."""
+    workers = max(1, os.cpu_count() or 1) if workers is None else workers
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+
+    results: dict[int, ServeReport] = {}
+    digests: dict[int, str] = {}
+    pending: list[tuple[int, ServeJob]] = []
+    for i, job in enumerate(jobs):
+        if cache is not None and cache.enabled:
+            digest = serve_digest(job)
+            digests[i] = digest
+            hit = cache.get(digest)
+            if hit is not None:
+                results[i] = ServeReport.from_payload(hit)
+                continue
+        pending.append((i, job))
+
+    if pending:
+        if workers == 1 or len(pending) == 1:
+            computed = [_execute(job) for _, job in pending]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))
+            ) as pool:
+                computed = list(pool.map(_execute, [j for _, j in pending]))
+        for (i, _job), report in zip(pending, computed):
+            results[i] = report
+            if cache is not None and cache.enabled:
+                cache.put(digests[i], report.to_payload())
+
+    return [results[i] for i in range(len(jobs))]

@@ -95,3 +95,10 @@ def test_inject_faults(monkeypatch, capsys):
     assert "drift 0.0" in out
     assert "world size over time" in out
     assert "ring-shrink" in out
+
+
+def test_serve_traffic(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "serve_traffic.py",
+                      ["--duration", "90", "--seed", "11"])
+    assert "failure detected and failed over" in out
+    assert "within the 1000 ms SLO" in out
