@@ -306,6 +306,39 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_comm(args: argparse.Namespace) -> int:
+    """``comm tune`` / ``comm show`` — the selection-table workflow."""
+    import json
+
+    from repro.comm import TuningConfig, available_backends, default_table, tune_table
+    from repro.comm.selection import SelectionTable
+
+    if args.comm_command == "tune":
+        config = TuningConfig(
+            backend=args.backend,
+            byte_points=tuple(int(s) for s in args.sizes.split(",")),
+            rank_counts=tuple(int(r) for r in args.ranks.split(",")),
+        )
+        table = tune_table(config, cache=_make_cache(args))
+        print(table.render())
+        print(f"table digest: {table.digest()}")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(table.to_payload(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"table written to {args.out}")
+    else:  # show
+        if args.table:
+            with open(args.table, encoding="utf-8") as fh:
+                table = SelectionTable.from_payload(json.load(fh))
+        else:
+            table = default_table(args.backend)
+        print(table.render())
+        print(f"table digest: {table.digest()}")
+        print(f"registered backends: {', '.join(available_backends())}")
+    return 0
+
+
 def cmd_diagnose(args: argparse.Namespace) -> int:
     report = OptimizationPipeline(num_gpus=args.gpus, steps=args.steps).run()
     print(report.table())
@@ -433,6 +466,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--report", default=None,
                        help="write the JSON serving report to this path")
     serve.set_defaults(func=cmd_serve)
+
+    comm = sub.add_parser(
+        "comm",
+        help="tune or inspect collective algorithm-selection tables",
+    )
+    comm.add_argument("comm_command", choices=["tune", "show"],
+                      nargs="?", default="show")
+    comm.add_argument("--backend", default="mpi",
+                      help="communication backend (mpi, nccl, hierarchical)")
+    comm.add_argument("--ranks", default="4,16,64",
+                      help="comma-separated rank counts to sweep (tune)")
+    comm.add_argument("--sizes", default="4096,65536,1048576,16777216,67108864",
+                      help="comma-separated message sizes in bytes (tune)")
+    comm.add_argument("--out", default=None, metavar="PATH",
+                      help="write the tuned table as JSON (tune)")
+    comm.add_argument("--table", default=None, metavar="PATH",
+                      help="show a previously tuned table JSON instead of "
+                           "the builtin default")
+    comm.add_argument("--no-cache", action="store_true")
+    comm.add_argument("--cache-dir", default=None)
+    comm.set_defaults(func=cmd_comm)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("cache_command", choices=["stats", "clear"],

@@ -1,0 +1,152 @@
+"""The backend-agnostic communicator surface.
+
+:class:`CollectiveOp` / :class:`Communicator` name the protocol every
+backend implements (MPI, NCCL, hierarchical); :class:`RoutedCommunicator`
+is the thin routing shell the rest of the stack talks to.  It
+
+* consults the backend's active :class:`~repro.comm.selection.
+  SelectionTable` (when one is installed) to pick the collective
+  algorithm per (message size, world size) — and passes ``algorithm=None``
+  otherwise, so default routing is bit-identical to the pre-refactor
+  backends;
+* records one :class:`~repro.comm.records.CommRecord` per executed
+  collective via the backend's own observer seam, so *every* op —
+  including ones issued on the underlying communicator directly — lands
+  in the unified accounting stream;
+* delegates everything else (restrict/reform, observers, the long tail of
+  MPI-only collectives) to the wrapped backend communicator.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.comm.records import CommRecord
+from repro.comm.selection import SelectionTable
+
+
+@runtime_checkable
+class CollectiveOp(Protocol):
+    """Return type contract of every collective: a CollectiveTiming-like."""
+
+    op: str
+    algorithm: str
+    nbytes: int
+    time: float
+
+
+@runtime_checkable
+class Communicator(Protocol):
+    """What every backend communicator must offer the layers above."""
+
+    @property
+    def size(self) -> int: ...  # pragma: no cover - protocol
+
+    def add_observer(self, observer) -> None: ...  # pragma: no cover
+
+    def allreduce(self, buffers, *args, **kwargs): ...  # pragma: no cover
+
+    def bcast(self, buffers, *, root_index: int = 0): ...  # pragma: no cover
+
+    def barrier(self): ...  # pragma: no cover
+
+    def restrict(self, ranks: Sequence[int]): ...  # pragma: no cover
+
+    def reform(self, ranks: Sequence[int]): ...  # pragma: no cover
+
+
+class RoutedCommunicator:
+    """Table-routing, record-emitting wrapper over a backend communicator."""
+
+    def __init__(self, inner, *, table: SelectionTable | None = None):
+        self.inner = inner
+        self.table = table
+        self._table_digest = table.digest() if table is not None else None
+        self.records: list[CommRecord] = []
+        # one stable bound-method object: attribute access would mint a new
+        # one each time, defeating the identity check in _rewrap
+        self._recorder = self._record
+        inner.add_observer(self._recorder)
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def backend_name(self) -> str:
+        return self.inner.world.backend_name
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    @property
+    def world(self):
+        return self.inner.world
+
+    @property
+    def ranks(self):
+        return self.inner.ranks
+
+    @property
+    def total_comm_time(self) -> float:
+        return self.inner.total_comm_time
+
+    @property
+    def op_count(self) -> int:
+        return self.inner.op_count
+
+    # -- unified accounting -------------------------------------------------
+    def _record(self, timing, backend: str) -> None:
+        self.records.append(
+            CommRecord.from_timing(timing, backend, table_digest=self._table_digest)
+        )
+
+    # -- routed collectives -------------------------------------------------
+    def _route(self, nbytes: int, algorithm: str | None) -> str | None:
+        if algorithm is not None:
+            return algorithm
+        if self.table is None:
+            return None
+        return self.table.lookup(nbytes, self.size)
+
+    def allreduce(self, buffers, *args, **kwargs):
+        algorithm = kwargs.pop("algorithm", None)
+        nbytes = max((b.nbytes for b in buffers), default=0)
+        return self.inner.allreduce(
+            buffers, *args, algorithm=self._route(nbytes, algorithm), **kwargs
+        )
+
+    def bcast(self, buffers, *, root_index: int = 0):
+        return self.inner.bcast(buffers, root_index=root_index)
+
+    def barrier(self):
+        return self.inner.barrier()
+
+    # -- elasticity ---------------------------------------------------------
+    def _rewrap(self, sub) -> "RoutedCommunicator":
+        # the sub-communicator inherited this wrapper's recorder observer;
+        # strip it so the new wrapper's recorder is the only one attached
+        sub.observers = [o for o in sub.observers if o is not self._recorder]
+        return RoutedCommunicator(sub, table=self.table)
+
+    def restrict(self, ranks: Sequence[int]) -> "RoutedCommunicator":
+        return self._rewrap(self.inner.restrict(ranks))
+
+    def reform(self, ranks: Sequence[int]) -> "RoutedCommunicator":
+        return self._rewrap(self.inner.reform(ranks))
+
+    # -- everything else (observer management, MPI-only collectives) --------
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def broadcast_weights(comm, nbytes: int):
+    """Charge a weight (re-)broadcast over an existing communicator.
+
+    Used by elastic re-grow: the regrown replica's state is cloned
+    functionally, and this prices pushing it over the re-formed ring.
+    Returns the backend's CollectiveTiming (zero-op on trivial worlds).
+    """
+    from repro.mpi.comm import GpuBuffer
+
+    if comm.size <= 1 or nbytes <= 0:
+        return None
+    return comm.bcast([GpuBuffer.virtual(nbytes) for _ in range(comm.size)])

@@ -1,0 +1,87 @@
+"""Shared α-β cost arithmetic and the collective schedule memo.
+
+The α-β (latency-bandwidth) identities and the step-schedule memoization
+used to be copied between ``mpi/collectives/allreduce.py``,
+``nccl/communicator.py``, and the Horovod fusion layer; this module is
+their single home.  ``mpi.collectives.allreduce`` re-exports
+``allreduce_lower_bound`` and keeps a module-level alias of the memo's
+backing dict for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.perf import flags as perf_flags
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.specs import ClusterSpec
+
+
+def alpha_beta_time(nbytes: int, *, alpha_s: float, bandwidth: float) -> float:
+    """One message: startup latency plus serialization time."""
+    if bandwidth == float("inf"):
+        return alpha_s
+    return alpha_s + nbytes / bandwidth
+
+
+def allreduce_lower_bound(nbytes: int, p: int, bandwidth: float) -> float:
+    """Bandwidth-optimal lower bound ``2n(p-1)/(pB)`` for sanity checks."""
+    if p <= 1:
+        return 0.0
+    return 2 * nbytes * (p - 1) / (p * bandwidth)
+
+
+def ring_step_count(p: int) -> int:
+    """Steps of a chunked-ring allreduce (reduce-scatter + allgather)."""
+    return 2 * (p - 1)
+
+
+def weight_broadcast_time(spec: "ClusterSpec", nbytes: int, *, replicas: int = 1) -> float:
+    """Cold-start weight push to new replicas over the inter-node fabric.
+
+    The serving tier brings replicas online one at a time, so the flat
+    model is one α-β IB transfer per replica (same envelope
+    ``serve.costing`` charged before this layer existed).
+    """
+    if nbytes <= 0 or replicas <= 0:
+        return 0.0
+    return replicas * spec.ib.transfer_time(nbytes)
+
+
+class ScheduleMemo:
+    """FIFO memo of immutable collective step-schedules.
+
+    A schedule is pure data determined by (algorithm, rank list, message
+    size, buffer ids[, node grouping]), and Horovod issues the same
+    allreduce shape every training step — so plans are built once and
+    reused instead of being reconstructed per call.  Schedules are
+    immutable after construction (lists of frozen PairTransfers that the
+    costers only read), which is what makes sharing them safe.
+
+    Gated on :data:`repro.perf.flags.schedule_memo`; ``entries`` is the
+    long-lived backing dict (aliased by legacy call sites), so eviction
+    and clearing mutate it in place rather than rebinding.
+    """
+
+    def __init__(self, max_entries: int = 512):
+        self.max_entries = max_entries
+        self.entries: dict[tuple, object] = {}
+
+    def get(self, key: tuple, builder: Callable[[], object]) -> object:
+        if not perf_flags.schedule_memo:
+            return builder()
+        hit = self.entries.get(key)
+        if hit is None:
+            if len(self.entries) >= self.max_entries:
+                # FIFO eviction is enough: the working set per study is tiny
+                self.entries.pop(next(iter(self.entries)))
+            hit = builder()
+            self.entries[key] = hit
+        return hit
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,279 @@
+"""The hierarchical two-level collective backend.
+
+Composes the split Laanait et al. (arXiv:1909.11150) exploit on NVLink-dense
+nodes: an intra-node NVLink reduce-scatter, an inter-node IB allreduce over
+the per-GPU shards, and an intra-node broadcast (allgather of the reduced
+shards).  Each node's g GPUs therefore drive the network with 1/g-sized
+shards concurrently through the shared HCA, so the inter-node phase moves
+``2n(nodes-1)/nodes`` bytes at IB rate while the full-message hops stay on
+NVLink — which is why this backend beats a flat ring on multi-node worlds
+once messages are bandwidth-bound (>= ~1 MB).
+
+Analytic envelope only (like the NCCL backend): per-phase α-β terms using
+the NCCL protocol constants for link efficiencies and step latencies.
+Functional semantics are the shared lock-step helpers, and the
+:class:`~repro.faults.FaultInjector` degrades the NVLink/IB phases exactly
+as it does the other backends' cost envelopes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import CommError
+from repro.hardware.cluster import Cluster
+from repro.hardware.links import LinkKind
+from repro.mpi.collectives.base import CollectiveTiming, ExecutionMode
+from repro.mpi.comm import (
+    CollectiveObserver,
+    GpuBuffer,
+    apply_allreduce,
+    apply_bcast,
+)
+from repro.mpi.datatypes import ReduceOp
+from repro.nccl.protocol import DEFAULT_PROTOCOL, NcclProtocol
+
+#: the one algorithm this backend implements
+ALGORITHM = "hier-2level"
+
+
+class HierarchicalWorld:
+    """Two-level backend job state: cluster + protocol envelope + faults."""
+
+    backend_name = "hierarchical"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        num_ranks: int,
+        protocol: NcclProtocol = DEFAULT_PROTOCOL,
+        *,
+        faults=None,
+    ):
+        if num_ranks < 1:
+            raise CommError(f"num_ranks must be >= 1, got {num_ranks}")
+        if num_ranks > cluster.num_gpus:
+            raise CommError(
+                f"{num_ranks} ranks > {cluster.num_gpus} GPUs in cluster"
+            )
+        self.cluster = cluster
+        self.protocol = protocol
+        self.num_ranks = num_ranks
+        self.faults = faults
+
+    @property
+    def size(self) -> int:
+        return self.num_ranks
+
+    def communicator(self) -> "HierarchicalCommunicator":
+        return HierarchicalCommunicator(self, list(range(self.num_ranks)))
+
+
+class HierarchicalCommunicator:
+    """Intra-node reduce-scatter + inter-node allreduce + intra broadcast."""
+
+    def __init__(self, world: HierarchicalWorld, ranks: Sequence[int]):
+        self.world = world
+        self.ranks = list(ranks)
+        self.observers: list[CollectiveObserver] = []
+        self.total_comm_time = 0.0
+        self.op_count = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def add_observer(self, observer: CollectiveObserver) -> None:
+        self.observers.append(observer)
+
+    # -- elasticity ---------------------------------------------------------
+    def restrict(self, ranks: Sequence[int]) -> "HierarchicalCommunicator":
+        missing = set(ranks) - set(self.ranks)
+        if missing:
+            raise CommError(
+                f"cannot restrict to ranks {sorted(missing)} not in "
+                f"communicator {self.ranks}"
+            )
+        if not ranks:
+            raise CommError("cannot restrict a communicator to zero ranks")
+        sub = HierarchicalCommunicator(self.world, list(ranks))
+        sub.observers = list(self.observers)
+        return sub
+
+    def reform(self, ranks: Sequence[int]) -> "HierarchicalCommunicator":
+        unknown = {r for r in ranks if not 0 <= r < self.world.num_ranks}
+        if unknown:
+            raise CommError(
+                f"cannot form a communicator on ranks {sorted(unknown)} "
+                f"outside the {self.world.num_ranks}-rank world"
+            )
+        if not ranks:
+            raise CommError("cannot form a communicator over zero ranks")
+        sub = HierarchicalCommunicator(self.world, list(ranks))
+        sub.observers = list(self.observers)
+        return sub
+
+    # -- topology -----------------------------------------------------------
+    def _node_groups(self) -> list[list[int]]:
+        gpn = self.world.cluster.gpus_per_node
+        by_node: dict[int, list[int]] = {}
+        for r in sorted(self.ranks):
+            by_node.setdefault(r // gpn, []).append(r)
+        return [g for _, g in sorted(by_node.items())]
+
+    # -- link environment (fault-aware) -------------------------------------
+    def _link_env(self, now: float) -> tuple[float, float, float, float]:
+        """(nv_bw, nv_alpha, ib_bw, ib_alpha) at simulation time ``now``."""
+        cluster = self.world.cluster
+        proto = self.world.protocol
+        nv_bw = cluster.spec.node.nvlink_gpu_gpu.bandwidth * proto.nvlink_efficiency
+        ib_bw = cluster.spec.ib.bandwidth * proto.ib_efficiency
+        nv_alpha = proto.intra_step_latency_s
+        ib_alpha = proto.inter_step_latency_s
+        faults = self.world.faults
+        if faults is not None:
+            nv_factor, nv_extra = faults.link_state(LinkKind.NVLINK_P2P, now)
+            ib_factor, ib_extra = faults.link_state(LinkKind.IB, now)
+            nv_bw = nv_bw * nv_factor if nv_factor > 0 else float("inf")
+            ib_bw = ib_bw * ib_factor if ib_factor > 0 else float("inf")
+            if nv_factor <= 0 or ib_factor <= 0:
+                raise CommError("link fault zeroed bandwidth; cannot make progress")
+            nv_alpha += nv_extra
+            ib_alpha += ib_extra
+        return nv_bw, nv_alpha, ib_bw, ib_alpha
+
+    def _message_delay(self, groups: list[list[int]], now: float, ib_bw: float, ib_alpha: float) -> float:
+        """Injected drop/delay penalty over the inter-node leader ring."""
+        faults = self.world.faults
+        if faults is None or len(groups) <= 1:
+            return 0.0
+        leaders = [g[0] for g in groups]
+        delay = 0.0
+        for i, src in enumerate(leaders):
+            dst = leaders[(i + 1) % len(leaders)]
+            verdict = faults.message_verdict(src, dst, now)
+            delay += verdict.delay_s
+            if verdict.drop:
+                # one deterministic retransmission of a pipeline chunk
+                delay += ib_alpha + self.world.protocol.chunk_bytes / ib_bw
+        return delay
+
+    # -- timing model -------------------------------------------------------
+    def _allreduce_segments(self, nbytes: int) -> dict[str, float]:
+        groups = self._node_groups()
+        g = max(len(grp) for grp in groups)
+        nodes = len(groups)
+        nv_bw, nv_alpha, ib_bw, ib_alpha = self._link_env(self.total_comm_time)
+        segments: dict[str, float] = {}
+        if g > 1:
+            intra = (g - 1) * nv_alpha + (g - 1) / g * nbytes / nv_bw
+            segments["intra_reduce_scatter"] = intra
+        if nodes > 1:
+            inter = (
+                2 * (nodes - 1) * ib_alpha
+                + 2 * nbytes * (nodes - 1) / (nodes * ib_bw)
+            )
+            inter += self._message_delay(groups, self.total_comm_time, ib_bw, ib_alpha)
+            segments["inter_allreduce"] = inter
+        if g > 1:
+            segments["intra_broadcast"] = (
+                (g - 1) * nv_alpha + (g - 1) / g * nbytes / nv_bw
+            )
+        return segments
+
+    def _bcast_segments(self, nbytes: int) -> dict[str, float]:
+        groups = self._node_groups()
+        g = max(len(grp) for grp in groups)
+        nodes = len(groups)
+        nv_bw, nv_alpha, ib_bw, ib_alpha = self._link_env(self.total_comm_time)
+        segments: dict[str, float] = {}
+        if nodes > 1:
+            # pipelined chain to the other node leaders over IB
+            inter = (nodes - 1) * ib_alpha + nbytes / ib_bw
+            inter += self._message_delay(groups, self.total_comm_time, ib_bw, ib_alpha)
+            segments["inter_broadcast"] = inter
+        if g > 1:
+            segments["intra_broadcast"] = (
+                math.ceil(math.log2(g)) * nv_alpha + nbytes / nv_bw
+            )
+        return segments
+
+    # -- collective API ------------------------------------------------------
+    def _validate(self, buffers: Sequence[GpuBuffer]) -> int:
+        if len(buffers) != self.size:
+            raise CommError(
+                f"collective needs {self.size} buffers, got {len(buffers)}"
+            )
+        sizes = {b.nbytes for b in buffers}
+        if len(sizes) != 1:
+            raise CommError(f"mismatched buffer sizes: {sorted(sizes)}")
+        return sizes.pop()
+
+    def _notify(self, timing: CollectiveTiming) -> None:
+        self.total_comm_time += timing.time
+        self.op_count += 1
+        for observer in self.observers:
+            observer(timing, self.world.backend_name)
+
+    def allreduce(
+        self,
+        buffers: Sequence[GpuBuffer],
+        op: ReduceOp = ReduceOp.SUM,
+        *,
+        average: bool = False,
+        algorithm: str | None = None,
+    ) -> CollectiveTiming:
+        if algorithm not in (None, ALGORITHM):
+            raise CommError(
+                f"hierarchical backend implements only {ALGORITHM!r}, "
+                f"got {algorithm!r}"
+            )
+        nbytes = self._validate(buffers)
+        apply_allreduce(buffers, op, average=average)
+        segments = (
+            self._allreduce_segments(nbytes)
+            if self.size > 1 and nbytes > 0
+            else {}
+        )
+        timing = CollectiveTiming(
+            "allreduce",
+            ALGORITHM,
+            nbytes,
+            self.size,
+            sum(segments.values()),
+            ExecutionMode.ANALYTIC,
+            segments,
+        )
+        self._notify(timing)
+        return timing
+
+    def bcast(
+        self, buffers: Sequence[GpuBuffer], *, root_index: int = 0
+    ) -> CollectiveTiming:
+        nbytes = self._validate(buffers)
+        apply_bcast(buffers, root_index)
+        segments = (
+            self._bcast_segments(nbytes) if self.size > 1 and nbytes > 0 else {}
+        )
+        timing = CollectiveTiming(
+            "bcast",
+            ALGORITHM,
+            nbytes,
+            self.size,
+            sum(segments.values()),
+            ExecutionMode.ANALYTIC,
+            segments,
+        )
+        self._notify(timing)
+        return timing
+
+    def barrier(self) -> CollectiveTiming:
+        p = self.size
+        _, _, _, ib_alpha = self._link_env(self.total_comm_time)
+        time = math.ceil(math.log2(max(p, 2))) * ib_alpha if p > 1 else 0.0
+        timing = CollectiveTiming(
+            "barrier", "hier", 0, p, time, ExecutionMode.ANALYTIC
+        )
+        self._notify(timing)
+        return timing

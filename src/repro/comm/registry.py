@@ -1,0 +1,105 @@
+"""Backend registry: one factory seam for every communication backend.
+
+``build_communicator`` is what the layers above (Horovod's
+``build_backend``, the scaling study, the CLI) call; backends register a
+factory keyed by name.  The returned communicator is always a
+:class:`~repro.comm.api.RoutedCommunicator` so algorithm-selection tables
+and unified accounting apply uniformly, and ``faults`` is threaded into
+*every* backend's cost envelope (the MPI-only asymmetry is gone).
+
+World sizing is strict: a backend that needs a rank count gets it from
+``num_ranks`` or ``world_spec`` explicitly — there is no silent fallback
+to ``cluster.num_gpus`` (that fallback used to let an NCCL study quietly
+simulate the wrong world when both were omitted).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.comm.api import RoutedCommunicator
+from repro.comm.selection import SelectionTable, get_active_table
+from repro.mpi.collectives import ExecutionMode
+
+#: name -> factory(cluster, world_spec, num_ranks, mode, faults) -> (world, comm)
+_FACTORIES: dict[str, Callable] = {}
+
+
+def register_backend(name: str, factory: Callable) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _FACTORIES[name] = factory
+
+
+def available_backends() -> list[str]:
+    return sorted(_FACTORIES)
+
+
+def resolve_world_size(world_spec, num_ranks, *, backend: str) -> int:
+    """Explicit world sizing or a hard error — never a silent guess."""
+    if num_ranks is not None:
+        return num_ranks
+    if world_spec is not None:
+        return world_spec.num_ranks
+    raise ConfigError(
+        f"{backend!r} backend needs an explicit world size: pass num_ranks "
+        f"or world_spec (refusing to fall back to cluster.num_gpus)"
+    )
+
+
+def _build_mpi(cluster, world_spec, num_ranks, mode, faults):
+    from repro.mpi.comm import MpiWorld
+
+    if world_spec is None:
+        raise ConfigError("MPI backend requires a WorldSpec")
+    world = MpiWorld(cluster, world_spec, mode=mode, faults=faults)
+    return world, world.communicator()
+
+
+def _build_nccl(cluster, world_spec, num_ranks, mode, faults):
+    from repro.nccl.communicator import NcclWorld
+
+    ranks = resolve_world_size(world_spec, num_ranks, backend="nccl")
+    world = NcclWorld(cluster, ranks, faults=faults)
+    return world, world.communicator()
+
+
+def _build_hierarchical(cluster, world_spec, num_ranks, mode, faults):
+    from repro.comm.hierarchical import HierarchicalWorld
+
+    ranks = resolve_world_size(world_spec, num_ranks, backend="hierarchical")
+    world = HierarchicalWorld(cluster, ranks, faults=faults)
+    return world, world.communicator()
+
+
+register_backend("mpi", _build_mpi)
+register_backend("nccl", _build_nccl)
+register_backend("hierarchical", _build_hierarchical)
+
+
+def build_communicator(
+    cluster,
+    backend: str,
+    *,
+    world_spec=None,
+    num_ranks: int | None = None,
+    mode: ExecutionMode = ExecutionMode.ANALYTIC,
+    faults=None,
+    table: SelectionTable | None = None,
+):
+    """Return ``(world, routed_communicator)`` for the requested backend.
+
+    ``table`` overrides the process-wide active selection table for the
+    backend (``repro.comm.selection.set_active_table``); with neither, the
+    communicator routes with ``algorithm=None`` and the backend heuristics
+    reproduce pre-refactor timings bit-identically.
+    """
+    factory = _FACTORIES.get(backend)
+    if factory is None:
+        raise ConfigError(
+            f"unknown backend {backend!r}; available: {available_backends()}"
+        )
+    world, comm = factory(cluster, world_spec, num_ranks, mode, faults)
+    if table is None:
+        table = get_active_table(backend)
+    return world, RoutedCommunicator(comm, table=table)

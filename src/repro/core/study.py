@@ -23,6 +23,7 @@ from repro.core.calibration import (
     PAGEABLE_BLOCKING_FACTOR,
     TRAIN_BATCH_PER_GPU,
 )
+from repro.comm.api import broadcast_weights
 from repro.core.scenarios import Scenario
 from repro.errors import ConfigError
 from repro.hardware.cluster import build_cluster
@@ -222,8 +223,11 @@ class ScalingStudy:
         MV2 config, backend), the full :class:`StudyConfig`, world size and
         per-GPU batch, the ``MV2_*``/``HOROVOD_*``/``REPRO_SIM_*`` environment
         knobs, the fault plan and recovery policy (the study's own unless
-        overridden), and the cache version salt.
+        overridden), the digests of any active ``repro.comm`` selection
+        tables (so tuned-table runs never alias untuned cached results),
+        and the cache version salt.
         """
+        from repro.comm.selection import active_table_digests
         from repro.perf.digest import canonical_digest, env_knobs
 
         if fault_plan is None:
@@ -240,6 +244,7 @@ class ScalingStudy:
                 "env": env_knobs(),
                 "fault_plan": fault_plan,
                 "recovery": recovery,
+                "comm_tables": active_table_digests(),
             }
         )
 
@@ -496,8 +501,15 @@ class ScalingStudy:
                     live.sort()
                     supervisor.readmit(rank)
                     engine.reform_to(list(live))
-                    acct.note_regrow(rank, policy.restart_overhead_s)
-                    clock += policy.restart_overhead_s
+                    # the regrown replica's weights ride the re-formed
+                    # ring: one comm-layer broadcast of the checkpoint
+                    # payload, charged with the restart overhead
+                    rebcast = broadcast_weights(engine.comm, ckpt_nbytes)
+                    rebcast_s = rebcast.time if rebcast is not None else 0.0
+                    acct.note_regrow(
+                        rank, policy.restart_overhead_s + rebcast_s
+                    )
+                    clock += policy.restart_overhead_s + rebcast_s
                     injector.record(
                         "rank-regrown", clock, rank=rank,
                         detail=f"world={len(live)}",
@@ -583,12 +595,18 @@ class ScalingStudy:
         """
         base = self.single_gpu_rate()
         if jobs != 1 and self._parallel_safe():
-            from repro.perf.parallel import PointJob, run_point_jobs
+            from repro.perf.parallel import (
+                PointJob,
+                active_table_payloads,
+                run_point_jobs,
+            )
 
+            tables = active_table_payloads()
             point_jobs = [
                 PointJob(
                     self.scenario.name, g, self.config,
                     fault_plan=self.fault_plan, recovery=self.recovery,
+                    comm_tables=tables,
                 )
                 for g in gpu_counts
             ]

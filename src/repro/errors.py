@@ -83,6 +83,10 @@ class NcclError(ReproError):
     """Simulated NCCL error."""
 
 
+class CommError(ReproError):
+    """Backend-agnostic communication layer error (``repro.comm``)."""
+
+
 class HorovodError(ReproError):
     """Horovod middleware error (mismatched submissions, bad state, ...)."""
 

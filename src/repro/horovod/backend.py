@@ -1,13 +1,18 @@
-"""Backend factory: build an MPI or NCCL communicator for Horovod."""
+"""Backend factory: build a communicator for Horovod via ``repro.comm``.
+
+Thin shim over :func:`repro.comm.registry.build_communicator`, kept for
+API stability — the scaling study, benchmarks, and tests all call
+``build_backend``.  The communicator comes back wrapped in a
+:class:`~repro.comm.api.RoutedCommunicator`, so algorithm-selection
+tables and unified per-op accounting apply to every backend.
+"""
 
 from __future__ import annotations
 
-from repro.errors import ConfigError
+from repro.comm.registry import build_communicator
 from repro.hardware.cluster import Cluster
 from repro.mpi.collectives import ExecutionMode
-from repro.mpi.comm import MpiWorld
 from repro.mpi.process import WorldSpec
-from repro.nccl.communicator import NcclWorld
 
 
 def build_backend(
@@ -22,23 +27,21 @@ def build_backend(
     """Return (world, communicator) for the requested backend.
 
     MPI requires a :class:`WorldSpec` (visibility policy + MV2 config);
-    NCCL only needs the rank count — it manages devices itself, which is
-    exactly the asymmetry the paper investigates.
+    NCCL and the hierarchical backend need an explicit rank count
+    (``num_ranks`` or ``world_spec``) — ambiguous world sizing raises
+    :class:`~repro.errors.ConfigError` instead of silently simulating
+    ``cluster.num_gpus`` ranks.
 
-    ``faults`` (a :class:`~repro.faults.FaultInjector`) is threaded into
-    the MPI transport so link/message faults perturb collective timing;
-    the NCCL cost envelope has no per-message transport, so there it only
-    governs membership/compute faults at the layers above.
+    ``faults`` (a :class:`~repro.faults.FaultInjector`) perturbs every
+    backend uniformly: the MPI transport sees per-message verdicts, and
+    the NCCL/hierarchical cost envelopes degrade their link classes and
+    charge message-fault penalties through the same injector.
     """
-    if backend == "mpi":
-        if world_spec is None:
-            raise ConfigError("MPI backend requires a WorldSpec")
-        world = MpiWorld(cluster, world_spec, mode=mode, faults=faults)
-        return world, world.communicator()
-    if backend == "nccl":
-        ranks = num_ranks if num_ranks is not None else (
-            world_spec.num_ranks if world_spec else cluster.num_gpus
-        )
-        world = NcclWorld(cluster, ranks)
-        return world, world.communicator()
-    raise ConfigError(f"unknown backend {backend!r}; use 'mpi' or 'nccl'")
+    return build_communicator(
+        cluster,
+        backend,
+        world_spec=world_spec,
+        num_ranks=num_ranks,
+        mode=mode,
+        faults=faults,
+    )

@@ -240,25 +240,11 @@ class HorovodEngine:
             coordination += overhead
             fire += overhead
             # pack the drained set greedily into fusion-buffer messages
-            messages: list[FusionMessage] = []
-            j = 0
-            threshold = self.config.fusion_threshold
-            while j < len(drained):
-                group = [drained[j]]
-                size = drained[j].nbytes
-                dtype = drained[j].dtype
-                j += 1
-                if threshold > 0:
-                    while (
-                        j < len(drained)
-                        and drained[j].dtype is dtype
-                        and size + drained[j].nbytes <= threshold
-                    ):
-                        size += drained[j].nbytes
-                        group.append(drained[j])
-                        j += 1
-                messages.append(FusionMessage(group, cycles_used - 1, slot % 8))
-                slot += 1
+            # (same greedy loop the offline planner uses — one home now)
+            messages, slot = TensorFusion.pack_greedy(
+                drained, self.config.fusion_threshold,
+                cycle_index=cycles_used - 1, slot_start=slot,
+            )
             for message in messages:
                 start = max(fire, exec_free)
                 buffers = self._buffers_for(message)

@@ -89,6 +89,45 @@ class TensorFusion:
     def __init__(self, config: HorovodConfig):
         self.config = config
 
+    @staticmethod
+    def pack_greedy(
+        ready: list[PendingTensor],
+        threshold: int,
+        *,
+        cycle_index: int,
+        slot_start: int,
+    ) -> tuple[list[FusionMessage], int]:
+        """Greedy packing of one drained ready-set (§II-D step 1).
+
+        Submission order, same dtype, at most ``threshold`` bytes per
+        buffer; an oversized tensor goes alone, unfused.  Returns the
+        messages and the next fusion-buffer slot counter.  Shared by
+        :meth:`plan` and the engine's execution-coupled drain loop (the
+        two used to carry copies of this loop).
+        """
+        messages: list[FusionMessage] = []
+        slot = slot_start
+        i = 0
+        while i < len(ready):
+            group = [ready[i]]
+            size = ready[i].nbytes
+            dtype = ready[i].dtype
+            i += 1
+            if threshold > 0:
+                while (
+                    i < len(ready)
+                    and ready[i].dtype is dtype
+                    and size + ready[i].nbytes <= threshold
+                ):
+                    size += ready[i].nbytes
+                    group.append(ready[i])
+                    i += 1
+            messages.append(
+                FusionMessage(group, cycle_index, buffer_slot=slot % 8)
+            )
+            slot += 1
+        return messages, slot
+
     def plan(self, tensors: list[PendingTensor]) -> FusionPlan:
         """Simulate the cycle loop over the given tensor stream.
 
@@ -121,24 +160,12 @@ class TensorFusion:
             ready_end = i
             while ready_end < len(pending) and pending[ready_end].ready_time <= now:
                 ready_end += 1
-            while i < ready_end:
-                group = [pending[i]]
-                size = pending[i].nbytes
-                dtype = pending[i].dtype
-                i += 1
-                if threshold > 0:
-                    while (
-                        i < ready_end
-                        and pending[i].dtype is dtype
-                        and size + pending[i].nbytes <= threshold
-                    ):
-                        size += pending[i].nbytes
-                        group.append(pending[i])
-                        i += 1
-                messages.append(
-                    FusionMessage(group, cycle_index, buffer_slot=slot % 8)
-                )
-                slot += 1
+            drained, slot = self.pack_greedy(
+                pending[i:ready_end], threshold,
+                cycle_index=cycle_index, slot_start=slot,
+            )
+            messages.extend(drained)
+            i = ready_end
             if i < len(pending):
                 cycle_index += 1
                 now = cycle_index * cycle if cycle > 0 else pending[i].ready_time

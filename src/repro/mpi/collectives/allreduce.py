@@ -17,6 +17,11 @@ from __future__ import annotations
 
 import math
 
+from repro.comm.cost import (  # noqa: F401 - re-exported for legacy callers
+    ScheduleMemo,
+    allreduce_lower_bound,
+    ring_step_count,
+)
 from repro.errors import MpiError
 from repro.mpi.collectives.base import (
     CollectiveTiming,
@@ -25,34 +30,22 @@ from repro.mpi.collectives.base import (
     chunk_sizes,
     is_power_of_two,
 )
-from repro.perf import flags as perf_flags
 from repro.utils.units import KIB
 
-# Step-schedule memo: a schedule is pure data determined by (algorithm,
-# rank list, message size, buffer ids[, node grouping]), and Horovod issues
-# the same allreduce shape every training step — so plans are built once
-# and reused instead of being reconstructed per call.  Schedules are
-# immutable after construction (lists of frozen PairTransfers that the
-# costers only read), which is what makes sharing them safe.
-_SCHEDULE_CACHE: dict[tuple, object] = {}
-_SCHEDULE_CACHE_MAX = 512
+# Step-schedule memo, now owned by repro.comm.cost (the dedup home of the
+# α-β/memoization code the backends used to copy).  ``_SCHEDULE_CACHE``
+# stays as an alias of the memo's backing dict: tests and older call sites
+# inspect it directly, and ScheduleMemo mutates it in place.
+SCHEDULE_MEMO = ScheduleMemo(max_entries=512)
+_SCHEDULE_CACHE = SCHEDULE_MEMO.entries
 
 
 def clear_schedule_cache() -> None:
-    _SCHEDULE_CACHE.clear()
+    SCHEDULE_MEMO.clear()
 
 
 def _memoized(key: tuple, builder):
-    if not perf_flags.schedule_memo:
-        return builder()
-    hit = _SCHEDULE_CACHE.get(key)
-    if hit is None:
-        if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_MAX:
-            # FIFO eviction is enough: the working set per study is tiny
-            _SCHEDULE_CACHE.pop(next(iter(_SCHEDULE_CACHE)))
-        hit = builder()
-        _SCHEDULE_CACHE[key] = hit
-    return hit
+    return SCHEDULE_MEMO.get(key, builder)
 
 
 def _bids_key(buffer_ids: dict[int, int] | None) -> tuple | None:
@@ -308,17 +301,6 @@ def allreduce_timing(
     return CollectiveTiming(
         "allreduce", algorithm, nbytes, p, total, coster.mode, segments
     )
-
-
-def allreduce_lower_bound(nbytes: int, p: int, bandwidth: float) -> float:
-    """Bandwidth-optimal lower bound ``2n(p-1)/(pB)`` for sanity checks."""
-    if p <= 1:
-        return 0.0
-    return 2 * nbytes * (p - 1) / (p * bandwidth)
-
-
-def ring_step_count(p: int) -> int:
-    return 2 * (p - 1)
 
 
 def expected_message_count(algorithm: str, p: int) -> int:

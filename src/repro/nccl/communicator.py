@@ -3,6 +3,15 @@
 Presents the same lock-step SPMD interface as
 :class:`repro.mpi.comm.Communicator` so Horovod can swap backends
 (`HOROVOD_GPU_ALLREDUCE=NCCL` vs MPI in the paper's runs).
+
+Fault injection is symmetric with the MPI backend since the ``repro.comm``
+refactor: a :class:`~repro.faults.FaultInjector` handed to
+:class:`NcclWorld` degrades the cost envelope — link faults scale the
+NVLink/IB hop classes (bandwidth and latency), and message faults charge
+their delay (plus one deterministic chunk retransmission per drop) against
+the inter-node hops of the ring.  The injector is consulted at the
+communicator's accumulated comm-stream time, which is the envelope's
+analogue of the MPI transport's per-transfer clock.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ from typing import Sequence
 
 from repro.errors import NcclError
 from repro.hardware.cluster import Cluster
+from repro.hardware.links import LinkKind
 from repro.mpi.collectives.base import CollectiveTiming, ExecutionMode
 from repro.mpi.comm import (
     CollectiveObserver,
@@ -21,7 +31,7 @@ from repro.mpi.comm import (
 )
 from repro.mpi.datatypes import ReduceOp
 from repro.nccl.protocol import DEFAULT_PROTOCOL, NcclProtocol
-from repro.nccl.rings import ring_bandwidth, ring_hop_latency
+from repro.nccl.rings import build_ring, ring_bandwidth, ring_hop_latency
 
 
 class NcclWorld:
@@ -34,6 +44,8 @@ class NcclWorld:
         cluster: Cluster,
         num_ranks: int,
         protocol: NcclProtocol = DEFAULT_PROTOCOL,
+        *,
+        faults=None,
     ):
         if num_ranks < 1:
             raise NcclError(f"num_ranks must be >= 1, got {num_ranks}")
@@ -44,6 +56,7 @@ class NcclWorld:
         self.cluster = cluster
         self.protocol = protocol
         self.num_ranks = num_ranks
+        self.faults = faults
 
     @property
     def size(self) -> int:
@@ -104,19 +117,72 @@ class NcclCommunicator:
         gpn = self.world.cluster.gpus_per_node
         return len({r // gpn for r in self.ranks})
 
+    def _now(self) -> float:
+        """The envelope's clock: accumulated time on the comm stream."""
+        return self.total_comm_time
+
+    def _link_fault(self, kind: LinkKind) -> tuple[float, float]:
+        faults = self.world.faults
+        if faults is None:
+            return 1.0, 0.0
+        return faults.link_state(kind, self._now())
+
+    def _message_delay(self, nbytes: int) -> float:
+        """Injected message-fault penalty over the ring's inter-node hops.
+
+        Mirrors the MPI transport's per-message verdicts at envelope
+        granularity: each inter-node (src, dst) hop is consulted once per
+        collective; delays accumulate, and a drop costs one deterministic
+        retransmission of a pipeline chunk.
+        """
+        faults = self.world.faults
+        if faults is None or len(self.ranks) <= 1 or nbytes == 0:
+            return 0.0
+        cluster = self.world.cluster
+        proto = self.world.protocol
+        ring = build_ring(cluster, self.ranks)
+        p = len(ring)
+        delay = 0.0
+        for i, rank in enumerate(ring):
+            nxt = ring[(i + 1) % p]
+            if cluster.gpu_ref(rank).node == cluster.gpu_ref(nxt).node:
+                continue
+            verdict = faults.message_verdict(rank, nxt, self._now())
+            delay += verdict.delay_s
+            if verdict.drop:
+                ib_bw = cluster.spec.ib.bandwidth * proto.ib_efficiency
+                delay += proto.inter_step_latency_s + proto.chunk_bytes / ib_bw
+        return delay
+
     def _ring_allreduce_time(self, nbytes: int) -> float:
         p = len(self.ranks)
         proto = self.world.protocol
         if p <= 1 or nbytes == 0:
             return 0.0
+        faults = self.world.faults
         if nbytes <= proto.ll_threshold:
-            return proto.ll_op_latency_s + math.log2(max(p, 2)) * proto.intra_step_latency_s
-        bw = ring_bandwidth(self.world.cluster, self.ranks, proto)
-        hop = ring_hop_latency(self.world.cluster, self.ranks, proto)
+            _, extra = self._link_fault(
+                LinkKind.IB if self._node_count() > 1 else LinkKind.NVLINK_P2P
+            )
+            return (
+                proto.ll_op_latency_s
+                + math.log2(max(p, 2)) * (proto.intra_step_latency_s + extra)
+                + self._message_delay(nbytes)
+            )
+        bw = ring_bandwidth(
+            self.world.cluster, self.ranks, proto, faults=faults, now=self._now()
+        )
+        hop = ring_hop_latency(
+            self.world.cluster, self.ranks, proto, faults=faults, now=self._now()
+        )
         steps = 2 * (p - 1)
         # chunk pipelining: latency per pipeline stage + bandwidth term
         fill = min(nbytes / p, proto.chunk_bytes) / bw if bw != float("inf") else 0.0
-        return steps * (hop + fill) + 2 * nbytes * (p - 1) / (p * bw)
+        return (
+            steps * (hop + fill)
+            + 2 * nbytes * (p - 1) / (p * bw)
+            + self._message_delay(nbytes)
+        )
 
     def _tree_allreduce_time(self, nbytes: int) -> float:
         """Double-binary-tree estimate: depth in nodes, full bandwidth."""
@@ -126,17 +192,42 @@ class NcclCommunicator:
         if p <= 1 or nbytes == 0:
             return 0.0
         cluster = self.world.cluster
-        ib_bw = cluster.spec.ib.bandwidth * proto.ib_efficiency
-        nv_bw = cluster.spec.node.nvlink_gpu_gpu.bandwidth * proto.nvlink_efficiency
+        ib_factor, ib_extra = self._link_fault(LinkKind.IB)
+        nv_factor, nv_extra = self._link_fault(LinkKind.NVLINK_P2P)
+        ib_bw = cluster.spec.ib.bandwidth * proto.ib_efficiency * max(ib_factor, 1e-12)
+        nv_bw = (
+            cluster.spec.node.nvlink_gpu_gpu.bandwidth
+            * proto.nvlink_efficiency
+            * max(nv_factor, 1e-12)
+        )
         depth = math.ceil(math.log2(max(nodes, 2))) + math.ceil(
             math.log2(max(p // max(nodes, 1), 2))
         )
-        latency = 2 * depth * proto.inter_step_latency_s
+        step_extra = ib_extra if nodes > 1 else nv_extra
+        latency = 2 * depth * (proto.inter_step_latency_s + step_extra)
         # reduce + broadcast sweep: 2n over the bottleneck (IB when multi-node)
         bw = ib_bw if nodes > 1 else nv_bw
-        return latency + 2 * nbytes / bw + 2 * depth * (proto.chunk_bytes / bw)
+        return (
+            latency
+            + 2 * nbytes / bw
+            + 2 * depth * (proto.chunk_bytes / bw)
+            + self._message_delay(nbytes)
+        )
 
-    def _allreduce_time(self, nbytes: int) -> tuple[float, str]:
+    def _allreduce_time(
+        self, nbytes: int, algorithm: str | None = None
+    ) -> tuple[float, str]:
+        """Auto-select ring vs tree, or honor an explicit override (the
+        seam the ``repro.comm`` selection tables route through)."""
+        if algorithm in ("ring", "nccl-ring"):
+            return self._ring_allreduce_time(nbytes), "nccl-ring"
+        if algorithm in ("tree", "nccl-tree"):
+            return self._tree_allreduce_time(nbytes), "nccl-tree"
+        if algorithm is not None:
+            raise NcclError(
+                f"unknown NCCL allreduce algorithm {algorithm!r}; "
+                f"use 'nccl-ring' or 'nccl-tree'"
+            )
         ring = self._ring_allreduce_time(nbytes)
         if self._node_count() >= self.world.protocol.tree_node_threshold:
             tree = self._tree_allreduce_time(nbytes)
@@ -149,10 +240,19 @@ class NcclCommunicator:
         proto = self.world.protocol
         if p <= 1 or nbytes == 0:
             return 0.0
-        bw = ring_bandwidth(self.world.cluster, self.ranks, proto)
-        hop = ring_hop_latency(self.world.cluster, self.ranks, proto)
+        faults = self.world.faults
+        bw = ring_bandwidth(
+            self.world.cluster, self.ranks, proto, faults=faults, now=self._now()
+        )
+        hop = ring_hop_latency(
+            self.world.cluster, self.ranks, proto, faults=faults, now=self._now()
+        )
         # pipelined ring broadcast: n/B + (p-1) pipeline stages
-        return nbytes / bw + (p - 1) * (hop + proto.chunk_bytes / bw)
+        return (
+            nbytes / bw
+            + (p - 1) * (hop + proto.chunk_bytes / bw)
+            + self._message_delay(nbytes)
+        )
 
     # -- collective API ------------------------------------------------------------
     def _validate(self, buffers: Sequence[GpuBuffer]) -> int:
@@ -181,7 +281,7 @@ class NcclCommunicator:
     ) -> CollectiveTiming:
         nbytes = self._validate(buffers)
         apply_allreduce(buffers, op, average=average)
-        time, algo = self._allreduce_time(nbytes)
+        time, algo = self._allreduce_time(nbytes, algorithm)
         timing = CollectiveTiming(
             "allreduce", algo, nbytes, self.size, time, ExecutionMode.ANALYTIC
         )

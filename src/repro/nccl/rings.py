@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.errors import NcclError
 from repro.hardware.cluster import Cluster
+from repro.hardware.links import LinkKind
 
 
 def build_ring(cluster: Cluster, ranks: list[int]) -> list[int]:
@@ -23,8 +24,27 @@ def build_ring(cluster: Cluster, ranks: list[int]) -> list[int]:
     return sorted(ranks)
 
 
+def _hop_fault(faults, inter_node: bool, now: float) -> tuple[float, float]:
+    """(bandwidth factor, extra latency) for one ring hop's link class.
+
+    The NCCL cost envelope has no per-message transport, so injected link
+    faults degrade the hop's class — IB for inter-node hops, the NVLink
+    peer class within a node (the envelope's intra-hop approximation).
+    """
+    if faults is None:
+        return 1.0, 0.0
+    kind = LinkKind.IB if inter_node else LinkKind.NVLINK_P2P
+    return faults.link_state(kind, now)
+
+
 def ring_bandwidth(
-    cluster: Cluster, ranks: list[int], protocol, *, channels: int = 1
+    cluster: Cluster,
+    ranks: list[int],
+    protocol,
+    *,
+    channels: int = 1,
+    faults=None,
+    now: float = 0.0,
 ) -> float:
     """Steady-state per-rank ring bandwidth (bytes/s).
 
@@ -35,6 +55,10 @@ def ring_bandwidth(
     additional NVLink bricks (up to 3 on Lassen), while the inter-node hop
     shares the single HCA and gains nothing — which is why multi-channel
     NCCL helps single-node jobs but not IB-bound multi-node rings.
+
+    ``faults``/``now`` thread the :class:`~repro.faults.FaultInjector`
+    into the envelope: active link faults scale the affected hop class'
+    bandwidth before the slowest-hop reduction.
     """
     if channels < 1:
         raise NcclError(f"channels must be >= 1, got {channels}")
@@ -48,16 +72,22 @@ def ring_bandwidth(
         nxt = ring[(i + 1) % p]
         a, b = cluster.gpu_ref(rank), cluster.gpu_ref(nxt)
         raw = cluster.path_bandwidth(a, b)
-        if a.node != b.node:
+        inter = a.node != b.node
+        if inter:
             hop = raw * protocol.ib_efficiency
         else:
             hop = raw * protocol.nvlink_efficiency * nvlink_channels
+        factor, _ = _hop_fault(faults, inter, now)
+        if factor > 0:
+            hop *= factor
         slowest = min(slowest, hop)
     return slowest
 
 
-def ring_hop_latency(cluster: Cluster, ranks: list[int], protocol) -> float:
-    """Worst per-step latency across ring hops."""
+def ring_hop_latency(
+    cluster: Cluster, ranks: list[int], protocol, *, faults=None, now: float = 0.0
+) -> float:
+    """Worst per-step latency across ring hops (fault-degraded when active)."""
     ring = build_ring(cluster, ranks)
     p = len(ring)
     if p == 1:
@@ -66,10 +96,12 @@ def ring_hop_latency(cluster: Cluster, ranks: list[int], protocol) -> float:
     for i, rank in enumerate(ring):
         nxt = ring[(i + 1) % p]
         a, b = cluster.gpu_ref(rank), cluster.gpu_ref(nxt)
+        inter = a.node != b.node
         lat = (
             protocol.inter_step_latency_s
-            if a.node != b.node
+            if inter
             else protocol.intra_step_latency_s
         )
-        worst = max(worst, lat)
+        _, extra = _hop_fault(faults, inter, now)
+        worst = max(worst, lat + extra)
     return worst

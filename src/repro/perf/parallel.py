@@ -34,6 +34,10 @@ class PointJob:
     ``fault_plan`` / ``recovery`` (both frozen dataclasses) ride along so
     chaos sweeps parallelize identically to clean ones — workers rebuild
     the exact resilient study, and the digest covers both fields.
+    ``comm_tables`` carries the parent's active algorithm-selection
+    tables (as :meth:`~repro.comm.selection.SelectionTable.to_payload`
+    dicts) so workers route collectives through the same tuned tables —
+    and the point digest covers their digests.
     """
 
     scenario: str
@@ -41,6 +45,7 @@ class PointJob:
     config: "StudyConfig"
     fault_plan: object | None = None
     recovery: object | None = None
+    comm_tables: tuple | None = None
 
 
 def _build_study(job: PointJob) -> "ScalingStudy":
@@ -57,7 +62,21 @@ def _build_study(job: PointJob) -> "ScalingStudy":
 
 def _execute(job: PointJob) -> "ScalingPoint":
     """Worker entry point (module level so it pickles under spawn)."""
+    if job.comm_tables:
+        from repro.comm.selection import install_table_payloads
+
+        install_table_payloads(job.comm_tables)
     return _build_study(job).run_point(job.num_gpus)
+
+
+def active_table_payloads() -> tuple | None:
+    """The parent's active selection tables as picklable payload dicts."""
+    from repro.comm.selection import active_tables
+
+    tables = active_tables()
+    if not tables:
+        return None
+    return tuple(tables[k].to_payload() for k in sorted(tables))
 
 
 def default_jobs() -> int:
@@ -127,8 +146,9 @@ def run_scenario_sweeps(
     from repro.core.scenarios import scenario_by_name
     from repro.core.study import ScalingStudy
 
+    tables = active_table_payloads()
     jobs = [
-        PointJob(name, gpus, config)
+        PointJob(name, gpus, config, comm_tables=tables)
         for name in scenario_names
         for gpus in gpu_counts
     ]

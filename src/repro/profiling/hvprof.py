@@ -4,19 +4,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.comm.records import CommRecord
 from repro.mpi.collectives.base import CollectiveTiming
 from repro.profiling.bins import PAPER_BINS, SizeBin, bin_for
 from repro.utils.tables import TextTable
 from repro.utils.units import format_bytes, format_time
 
-
-@dataclass
-class OpRecord:
-    op: str
-    backend: str
-    algorithm: str
-    nbytes: int
-    time: float
+#: hvprof's per-op record is the unified communication accounting record;
+#: the old name survives as an alias for existing imports
+OpRecord = CommRecord
 
 
 @dataclass
@@ -55,15 +51,7 @@ class Hvprof:
 
     # -- collection ------------------------------------------------------------
     def observer(self, timing: CollectiveTiming, backend: str) -> None:
-        self.records.append(
-            OpRecord(
-                op=timing.op,
-                backend=backend,
-                algorithm=timing.algorithm,
-                nbytes=timing.nbytes,
-                time=timing.time,
-            )
-        )
+        self.records.append(CommRecord.from_timing(timing, backend))
 
     def record_fault(self, kind: str, time: float, detail: str = "") -> None:
         """Sink for :class:`~repro.faults.FaultInjector` (pass the profiler

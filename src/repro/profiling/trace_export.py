@@ -11,11 +11,13 @@ Two producers feed it:
 * the serving simulator (``repro serve --trace PATH``) emits real
   timeline spans — batches per replica lane, cold starts, failovers,
   autoscaler decisions — with true simulation timestamps;
-* :class:`~repro.profiling.Hvprof` records carry durations but no start
-  times (the profiler aggregates, it does not trace), so
-  :func:`hvprof_trace_events` synthesizes a *concatenated* timeline: ops
-  are laid end-to-end per backend lane in record order.  Lane offsets are
-  synthetic; durations and ordering are real.
+* :class:`~repro.profiling.Hvprof` records (unified
+  :class:`~repro.comm.records.CommRecord`\\ s from any backend's
+  communicator) carry durations but no start times (the profiler
+  aggregates, it does not trace), so :func:`hvprof_trace_events`
+  synthesizes a *concatenated* timeline: ops are laid end-to-end per
+  backend lane in record order.  Lane offsets are synthetic; durations
+  and ordering are real.
 """
 
 from __future__ import annotations

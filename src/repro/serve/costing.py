@@ -101,8 +101,14 @@ class ServingCostModel:
 
     # -- cold start ---------------------------------------------------------
     def cold_start_s(self, checkpoint: CheckpointPolicy) -> float:
-        """Checkpoint read + weight broadcast to bring one replica online."""
+        """Checkpoint read + weight broadcast to bring one replica online.
+
+        The broadcast is priced by the communication layer's shared
+        cold-start helper (one α-β IB push per replica) — the same
+        envelope this method charged inline before ``repro.comm`` existed.
+        """
+        from repro.comm.cost import weight_broadcast_time
+
         nbytes = self.param_bytes
         read = checkpoint.read_cost(nbytes)
-        broadcast = self.cluster.ib.transfer_time(nbytes)
-        return read + broadcast
+        return read + weight_broadcast_time(self.cluster, nbytes)

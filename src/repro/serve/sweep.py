@@ -40,6 +40,8 @@ class ServeJob:
 
 def serve_digest(job: ServeJob) -> str:
     """Content address of the report this job would produce."""
+    from repro.comm.selection import active_table_digests
+
     return canonical_digest(
         {
             "kind": "serve-point",
@@ -49,6 +51,7 @@ def serve_digest(job: ServeJob) -> str:
             "env": env_knobs(),
             "fault_plan": job.fault_plan,
             "recovery": job.recovery,
+            "comm_tables": active_table_digests(),
         }
     )
 

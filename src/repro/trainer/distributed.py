@@ -241,15 +241,24 @@ class DistributedTrainer:
 
     def _regrow_rank(self, rank: int, acct: RecoveryAccounting) -> None:
         """Re-admit a recovered rank: fresh replica cloned from a survivor,
-        ring re-formed at the larger world."""
+        ring re-formed at the larger world.  The weight re-broadcast to the
+        rejoining rank is priced through the communication layer (the same
+        collective route every other broadcast takes), so its cost shows up
+        in the unified per-op records and scales with the model."""
+        from repro.comm.api import broadcast_weights
+
+        state = self.dist_opt.models[0].state_dict()
         model = self._model_factory(rank)
-        model.load_state_dict(self.dist_opt.models[0].state_dict())
+        model.load_state_dict(state)
         optimizer = Adam(model.parameters(), lr=self._lr)
         optimizer.load_state_dict(self.dist_opt.optimizers[0].state_dict())
         self.dist_opt.add_rank(rank, model, optimizer)
         self.supervisor.readmit(rank)
-        acct.note_regrow(rank, self.recovery.restart_overhead_s)
-        self._clock += self.recovery.restart_overhead_s
+        nbytes = sum(int(v.size) * int(v.itemsize) for v in state.values())
+        rebcast = broadcast_weights(self.engine.comm, nbytes)
+        rebcast_s = rebcast.time if rebcast is not None else 0.0
+        acct.note_regrow(rank, self.recovery.restart_overhead_s + rebcast_s)
+        self._clock += self.recovery.restart_overhead_s + rebcast_s
         if self.faults is not None:
             self.faults.record(
                 "rank-regrown", self._clock, rank=rank,
