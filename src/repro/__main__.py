@@ -43,11 +43,27 @@ def _make_cache(args: argparse.Namespace) -> ResultCache:
     return ResultCache(args.cache_dir, enabled=not args.no_cache)
 
 
+def _add_engine_mode(parser: argparse.ArgumentParser) -> None:
+    """``--fast`` / ``--exact`` engine-mode switch (default exact)."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--fast", dest="engine_mode", action="store_const", const="fast",
+        help="trace/replay fast path (bit-identical to --exact; "
+             "see docs/engine_fastpath.md)",
+    )
+    group.add_argument(
+        "--exact", dest="engine_mode", action="store_const", const="exact",
+        help="walk every collective schedule through the full cost model",
+    )
+    parser.set_defaults(engine_mode="exact")
+
+
 def cmd_scale(args: argparse.Namespace) -> int:
     scenario = scenario_by_name(args.scenario)
     gpu_counts = [int(g) for g in args.gpus.split(",")]
     study = ScalingStudy(scenario, StudyConfig(measure_steps=args.steps,
-                                               model=args.model))
+                                               model=args.model,
+                                               engine_mode=args.engine_mode))
     cache = _make_cache(args)
     points = study.run(gpu_counts, jobs=args.jobs, cache=cache)
     table = TextTable(
@@ -164,7 +180,8 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     )
     study = ScalingStudy(
         scenario,
-        StudyConfig(measure_steps=args.steps, model=args.model),
+        StudyConfig(measure_steps=args.steps, model=args.model,
+                    engine_mode=args.engine_mode),
         fault_plan=plan,
         recovery=policy,
     )
@@ -258,6 +275,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             fault_plan=plan,
             collect_trace=True,
+            engine_mode=args.engine_mode,
         )
         n = write_chrome_trace(args.trace, report.trace)
         reports = [report]
@@ -265,7 +283,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if len(policies) > 1:
             jobs = [
                 ServeJob(scenario_for(p), duration_s=args.duration,
-                         seed=args.seed, fault_plan=plan)
+                         seed=args.seed, fault_plan=plan,
+                         engine_mode=args.engine_mode)
                 for p in policies[1:]
             ]
             reports += run_serve_jobs(
@@ -274,7 +293,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     else:
         jobs = [
             ServeJob(scenario_for(p), duration_s=args.duration,
-                     seed=args.seed, fault_plan=plan)
+                     seed=args.seed, fault_plan=plan,
+                     engine_mode=args.engine_mode)
             for p in policies
         ]
         cache = _make_cache(args)
@@ -374,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bypass the on-disk result cache")
     scale.add_argument("--cache-dir", default=None,
                        help=f"result cache directory (default {default_cache_dir()})")
+    _add_engine_mode(scale)
     scale.set_defaults(func=cmd_scale)
 
     profile = sub.add_parser("profile", help="hvprof default vs MPI-Opt")
@@ -424,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--cache-dir", default=None)
     res.add_argument("--report", default=None,
                      help="write the JSON recovery report to this path")
+    _add_engine_mode(res)
     res.set_defaults(func=cmd_resilience)
 
     serve = sub.add_parser(
@@ -465,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(chrome://tracing / Perfetto)")
     serve.add_argument("--report", default=None,
                        help="write the JSON serving report to this path")
+    _add_engine_mode(serve)
     serve.set_defaults(func=cmd_serve)
 
     comm = sub.add_parser(

@@ -69,6 +69,12 @@ class StudyConfig:
     steady_detect: bool = True
     steady_window: int = 3
     steady_rel_tol: float = 1e-9
+    # Engine execution mode: "exact" walks every collective schedule through
+    # the full transport cost model; "fast" attaches the repro.sim.fastpath
+    # trace/replay session, which memoizes each distinct transfer once and
+    # replays recurrences bit-identically (equivalence pinned by
+    # tests/test_engine_equivalence.py).
+    engine_mode: str = "exact"
 
     def __post_init__(self) -> None:
         if self.batch_per_gpu < 1:
@@ -79,6 +85,10 @@ class StudyConfig:
             raise ConfigError("steady_window must be >= 2")
         if self.steady_rel_tol < 0:
             raise ConfigError("steady_rel_tol must be >= 0")
+        if self.engine_mode not in ("exact", "fast"):
+            raise ConfigError(
+                f"engine_mode must be 'exact' or 'fast', got {self.engine_mode!r}"
+            )
 
 
 @dataclass
@@ -307,6 +317,10 @@ class ScalingStudy:
         world, comm = build_backend(
             cluster, self.scenario.backend, world_spec=world_spec, num_ranks=num_gpus
         )
+        if cfg.engine_mode == "fast":
+            from repro.sim.fastpath import enable_fastpath
+
+            enable_fastpath(world)
         if hvprof is not None:
             comm.add_observer(hvprof.observer)
         engine = HorovodEngine(comm, cfg.horovod)
@@ -433,6 +447,11 @@ class ScalingStudy:
             num_ranks=num_gpus,
             faults=injector,
         )
+        session = None
+        if cfg.engine_mode == "fast":
+            from repro.sim.fastpath import enable_fastpath
+
+            session = enable_fastpath(world)
         if hvprof is not None:
             comm.add_observer(hvprof.observer)
         engine = HorovodEngine(comm, cfg.horovod)
@@ -450,6 +469,21 @@ class ScalingStudy:
         last_ckpt = 0
         clock = 0.0
         total_steps = cfg.warmup_steps + cfg.measure_steps
+        # Steady-state extrapolation under faults: the detector re-arms on
+        # every world perturbation (failure, blacklist, regrow, straggler
+        # slowdown) so the recovery transient never poisons the converged
+        # value; between perturbations, converged steps replay the steady
+        # value without walking the engine.
+        detector = None
+        extrapolated = 0
+        if (
+            cfg.steady_detect
+            and hvprof is None
+            and cfg.measure_steps > cfg.steady_window
+        ):
+            from repro.perf.steady import SteadyStateDetector
+
+            detector = SteadyStateDetector(cfg.steady_window, cfg.steady_rel_tol)
         if policy.restart:
             cost = policy.checkpoint.write_cost(ckpt_nbytes)
             clock += cost
@@ -470,6 +504,10 @@ class ScalingStudy:
                 )
             if dead:
                 engine.shrink_to(sorted(live))
+                if session is not None:
+                    session.invalidate()
+                if detector is not None:
+                    detector.rearm()
                 if policy.restart:
                     lost_steps = len(records) - last_ckpt
                     if lost_steps > 0:
@@ -490,6 +528,10 @@ class ScalingStudy:
                         live.remove(rank)
                         supervisor.drop(rank)
                         engine.shrink_to(sorted(live))
+                        if session is not None:
+                            session.invalidate()
+                        if detector is not None:
+                            detector.rearm()
                         acct.note_blacklist(rank)
                         injector.record(
                             "rank-blacklisted", clock, rank=rank,
@@ -501,6 +543,10 @@ class ScalingStudy:
                     live.sort()
                     supervisor.readmit(rank)
                     engine.reform_to(list(live))
+                    if session is not None:
+                        session.invalidate()
+                    if detector is not None:
+                        detector.rearm()
                     # the regrown replica's weights ride the re-formed
                     # ring: one comm-layer broadcast of the checkpoint
                     # payload, charged with the restart overhead
@@ -520,25 +566,40 @@ class ScalingStudy:
                 f = injector.compute_factor(rank, clock, step_index)
                 supervisor.note_compute(rank, f, clock)
                 fault_factor = max(fault_factor, f)
+            if fault_factor > 1.0 and detector is not None:
+                # a straggler slowdown perturbs the step time without any
+                # membership change — the converged value is stale
+                detector.rearm()
             backward_eff = (
                 backward
                 * straggler_factor(len(live), sigma=cfg.jitter_sigma)
                 * fault_factor
             )
+            # Always draw the gradient stream, even for extrapolated steps:
+            # the jitter RNG must consume the same draws as a full run so a
+            # re-armed resumption stays aligned with exact simulation.
             stream = self._gradient_stream(backward_eff, rng=rng)
-            staged_before = transport.max_staged_seconds() if transport else 0.0
-            timing = engine.run_step(stream, backward_time=backward_eff)
-            staged_delta = (
-                transport.max_staged_seconds() - staged_before
-                if transport else 0.0
-            )
-            blocking = staged_delta * PAGEABLE_BLOCKING_FACTOR
-            step = (
-                forward
-                + max(backward_eff, timing.comm_finish)
-                + blocking
-                + update
-            )
+            if detector is not None and detector.converged():
+                step = detector.steady_value()
+                extrapolated += 1
+            else:
+                staged_before = (
+                    transport.max_staged_seconds() if transport else 0.0
+                )
+                timing = engine.run_step(stream, backward_time=backward_eff)
+                staged_delta = (
+                    transport.max_staged_seconds() - staged_before
+                    if transport else 0.0
+                )
+                blocking = staged_delta * PAGEABLE_BLOCKING_FACTOR
+                step = (
+                    forward
+                    + max(backward_eff, timing.comm_finish)
+                    + blocking
+                    + update
+                )
+                if detector is not None and step_index >= cfg.warmup_steps:
+                    detector.observe(step)
             records.append((step, len(live)))
             clock += step
             acct.note_productive(step)
@@ -577,8 +638,8 @@ class ScalingStudy:
             comm_wall_time=timing.total_comm_time,
             message_sizes=[m.nbytes for m in timing.messages],
             regcache_hit_rate=regcache,
-            simulated_steps=len(records),
-            extrapolated_steps=0,
+            simulated_steps=len(records) - extrapolated,
+            extrapolated_steps=extrapolated,
             resilience=resilience,
         )
 

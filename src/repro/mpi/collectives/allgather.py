@@ -5,7 +5,7 @@ Used by Horovod's coordinator for the tensor-negotiation metadata exchange.
 
 from __future__ import annotations
 
-from repro.mpi.collectives.base import CollectiveTiming, PairTransfer, StepCoster
+from repro.mpi.collectives.base import CollectiveTiming, RingSchedule, StepCoster
 
 
 def allgather_timing(
@@ -20,18 +20,7 @@ def allgather_timing(
     if p <= 1:
         return CollectiveTiming("allgather", "ring", nbytes_per_rank, p, 0.0, coster.mode)
 
-    def bid(rank: int) -> int | None:
-        return buffer_ids.get(rank) if buffer_ids else None
-
-    steps: list[list[PairTransfer]] = []
-    for _step in range(p - 1):
-        transfers = []
-        for i, rank in enumerate(ranks):
-            dst = ranks[(i + 1) % p]
-            transfers.append(
-                PairTransfer(rank, dst, nbytes_per_rank, bid(rank), bid(dst))
-            )
-        steps.append(transfers)
+    steps = RingSchedule.uniform(ranks, nbytes_per_rank, buffer_ids)
     total = coster.run_steps(steps)
     return CollectiveTiming(
         "allgather", "ring", nbytes_per_rank, p, total, coster.mode,

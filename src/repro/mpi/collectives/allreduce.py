@@ -26,8 +26,8 @@ from repro.errors import MpiError
 from repro.mpi.collectives.base import (
     CollectiveTiming,
     PairTransfer,
+    RingSchedule,
     StepCoster,
-    chunk_sizes,
     is_power_of_two,
 )
 from repro.utils.units import KIB
@@ -73,35 +73,15 @@ def select_allreduce_algorithm(
 
 def _ring_steps(
     ranks: list[int], nbytes: int, buffer_ids: dict[int, int] | None
-) -> tuple[list[list[PairTransfer]], list[list[PairTransfer]]]:
-    """Chunked-ring schedules: (reduce-scatter steps, allgather steps)."""
-    p = len(ranks)
-    chunks = chunk_sizes(nbytes, p)
+) -> tuple[RingSchedule, RingSchedule]:
+    """Chunked-ring schedules: (reduce-scatter steps, allgather steps).
 
-    def bid(rank: int) -> int | None:
-        return buffer_ids.get(rank) if buffer_ids else None
-
-    def build(phase_steps: int) -> list[list[PairTransfer]]:
-        steps = []
-        for step in range(phase_steps):
-            transfers = []
-            for i, rank in enumerate(ranks):
-                dst = ranks[(i + 1) % p]
-                chunk_index = (i - step) % p
-                transfers.append(
-                    PairTransfer(
-                        src=rank,
-                        dst=dst,
-                        nbytes=chunks[chunk_index],
-                        src_buffer=bid(rank),
-                        dst_buffer=bid(dst),
-                        buffer_extent=nbytes,
-                    )
-                )
-            steps.append(transfers)
-        return steps
-
-    return build(p - 1), build(p - 1)
+    Both phases walk the identical transfer grid (only ``reduce_after``
+    differs at run time), so they share one lazily-materialized
+    :class:`RingSchedule`.
+    """
+    sched = RingSchedule.chunked(ranks, nbytes, buffer_ids)
+    return sched, sched
 
 
 def _recursive_doubling_steps(

@@ -54,6 +54,137 @@ class PairTransfer:
     buffer_extent: int | None = None
 
 
+class RingSchedule:
+    """Lazily materialized ring-phase step schedule.
+
+    A ring phase touches only ~2p distinct transfers (p neighbour pairs x
+    at most two chunk sizes) yet walks them across p-1 steps, so eagerly
+    materializing the full ``p * (p-1)`` transfer grid dominates
+    schedule-build time at high rank counts.  This sequence behaves like
+    the list-of-steps it replaces — iteration and indexing materialize
+    step lists on demand from a pool of shared frozen transfers — while
+    exposing the compact descriptor the analytic fast path consumes
+    directly (``repro.sim.fastpath`` computes ring makespans from the
+    descriptor without ever materializing the grid).
+
+    Chunk layout follows :func:`chunk_sizes`: the first ``rem`` chunks
+    carry ``chunk_big`` bytes and the rest ``chunk_small``; step ``s``
+    transfer ``i`` carries chunk ``(i - s) % p``.
+    """
+
+    is_ring_schedule = True
+
+    __slots__ = (
+        "ranks",
+        "chunk_small",
+        "chunk_big",
+        "rem",
+        "extent",
+        "buffer_ids",
+        "_small",
+        "_big",
+        "_steps",
+    )
+
+    def __init__(
+        self,
+        ranks: list[int],
+        *,
+        chunk_small: int,
+        chunk_big: int,
+        rem: int,
+        extent: int | None,
+        buffer_ids: dict[int, int] | None,
+    ):
+        self.ranks = list(ranks)
+        self.chunk_small = int(chunk_small)
+        self.chunk_big = int(chunk_big)
+        self.rem = int(rem)
+        self.extent = extent
+        self.buffer_ids = buffer_ids
+        self._small: list[PairTransfer] | None = None
+        self._big: list[PairTransfer] | None = None
+        self._steps: list[list[PairTransfer]] | None = None
+
+    @classmethod
+    def chunked(
+        cls, ranks: list[int], nbytes: int, buffer_ids: dict[int, int] | None
+    ) -> "RingSchedule":
+        """Chunked allreduce ring: ``nbytes`` split near-equally over p."""
+        base, rem = divmod(int(nbytes), max(len(ranks), 1))
+        return cls(
+            ranks,
+            chunk_small=base,
+            chunk_big=base + 1,
+            rem=rem,
+            extent=int(nbytes),
+            buffer_ids=buffer_ids,
+        )
+
+    @classmethod
+    def uniform(
+        cls, ranks: list[int], nbytes: int, buffer_ids: dict[int, int] | None
+    ) -> "RingSchedule":
+        """Allgather ring: every transfer carries the same ``nbytes``."""
+        return cls(
+            ranks,
+            chunk_small=int(nbytes),
+            chunk_big=int(nbytes),
+            rem=0,
+            extent=None,
+            buffer_ids=buffer_ids,
+        )
+
+    def __len__(self) -> int:
+        return max(len(self.ranks) - 1, 0)
+
+    def _bid(self, rank: int) -> int | None:
+        return self.buffer_ids.get(rank) if self.buffer_ids else None
+
+    def pools(self) -> tuple[list[PairTransfer], list[PairTransfer]]:
+        """The distinct transfers: (small-chunk pool, big-chunk pool)."""
+        if self._small is None:
+            ranks = self.ranks
+            p = len(ranks)
+
+            def build(nbytes: int) -> list[PairTransfer]:
+                return [
+                    PairTransfer(
+                        src=rank,
+                        dst=ranks[(i + 1) % p],
+                        nbytes=nbytes,
+                        src_buffer=self._bid(rank),
+                        dst_buffer=self._bid(ranks[(i + 1) % p]),
+                        buffer_extent=self.extent,
+                    )
+                    for i, rank in enumerate(ranks)
+                ]
+
+            self._small = build(self.chunk_small)
+            self._big = self._small if self.rem == 0 else build(self.chunk_big)
+        return self._small, self._big
+
+    def step(self, s: int) -> list[PairTransfer]:
+        """Materialize one step's transfer list from the pools."""
+        p = len(self.ranks)
+        small, big = self.pools()
+        rem = self.rem
+        if rem == 0:
+            return list(small)
+        return [big[i] if (i - s) % p < rem else small[i] for i in range(p)]
+
+    def _materialize(self) -> list[list[PairTransfer]]:
+        if self._steps is None:
+            self._steps = [self.step(s) for s in range(len(self))]
+        return self._steps
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+
 class StepCoster:
     """Times one BSP step (a set of concurrent transfers) in either mode.
 
@@ -67,6 +198,10 @@ class StepCoster:
         self.mode = mode
         self.kernel_model = KernelCostModel(transport.cluster.spec.node.gpu)
         self.cpu = transport.cluster.spec.node.cpu
+        # Optional repro.sim.fastpath.FastPathSession; when attached (via
+        # enable_fastpath), analytic schedule walks replay memoized
+        # transfers instead of re-running the full cost model.
+        self.fastpath = None
 
     # -- reduction compute costs ------------------------------------------------
     def gpu_reduce_time(self, nbytes: int) -> float:
@@ -143,6 +278,10 @@ class StepCoster:
     ) -> float:
         """Time a full step schedule in the configured mode."""
         if self.mode is ExecutionMode.ANALYTIC:
+            if self.fastpath is not None:
+                return self.fastpath.run_steps(
+                    self, steps, reduce_after=reduce_after
+                )
             return sum(
                 self.step_time_analytic(step, reduce_after=reduce_after)
                 for step in steps

@@ -136,6 +136,9 @@ class TransportModel:
         }
         self._ipc_pairs: set[tuple[int, int]] = set()
         self.stats = TransportStats()
+        # Optional repro.sim.fastpath MutationClock: bumped when a new IPC
+        # pair opens (the one structural transition the IPC path has).
+        self.mutation_clock = None
         # Seconds each rank spends driving pageable staging copies; these
         # copies are synchronous w.r.t. the GPU stream, so the scaling study
         # charges them against compute (the default path's hidden tax).
@@ -218,6 +221,8 @@ class TransportModel:
         elif kind is TransportKind.CUDA_IPC:
             pair = (min(src, dst), max(src, dst))
             if pair not in self._ipc_pairs:
+                if self.mutation_clock is not None:
+                    self.mutation_clock.bump()
                 self._ipc_pairs.add(pair)
                 out.protocol += IPC_OPEN_OVERHEAD_S
             out.protocol += 3.0e-6  # IPC rendezvous synchronization

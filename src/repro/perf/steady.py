@@ -37,6 +37,19 @@ class SteadyStateDetector:
     def observe(self, sample: float) -> None:
         self._samples.append(sample)
 
+    def rearm(self) -> None:
+        """Forget every sample after a world perturbation.
+
+        A mid-run fault (rank failure, blacklist, regrow, straggler
+        slowdown) changes the steady-state step time, and the first steps
+        after recovery carry a transient (cache warm-up, re-formed rings).
+        Without re-arming, a window straddling the perturbation could keep
+        reporting the *old* converged value and poison extrapolation; after
+        ``rearm`` the detector must see a fresh window of post-recovery
+        samples before it converges again.
+        """
+        self._samples.clear()
+
     @property
     def samples(self) -> list[float]:
         return list(self._samples)

@@ -36,6 +36,10 @@ class ServeJob:
     seed: int = 0
     fault_plan: object | None = None
     recovery: object | None = None
+    #: "exact" | "fast" — folded into the digest: fast mode is proven
+    #: bit-identical by the equivalence suite, but a cached result must
+    #: still say which engine produced it so a regression is attributable
+    engine_mode: str = "exact"
 
 
 def serve_digest(job: ServeJob) -> str:
@@ -52,6 +56,7 @@ def serve_digest(job: ServeJob) -> str:
             "fault_plan": job.fault_plan,
             "recovery": job.recovery,
             "comm_tables": active_table_digests(),
+            "engine_mode": job.engine_mode,
         }
     )
 
@@ -64,6 +69,7 @@ def _execute(job: ServeJob) -> ServeReport:
         seed=job.seed,
         fault_plan=job.fault_plan,
         recovery=job.recovery,
+        engine_mode=job.engine_mode,
     )
     # strip live objects: sweep results are summaries, identical whether
     # they came from a worker pickle, an inline run, or the cache

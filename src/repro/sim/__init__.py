@@ -19,6 +19,13 @@ from repro.sim.engine import (
     Process,
     Timeout,
 )
+from repro.sim.fastpath import (
+    EngineMode,
+    FastPathSession,
+    MutationClock,
+    coerce_engine_mode,
+    enable_fastpath,
+)
 from repro.sim.resources import Resource, ResourceRequest
 from repro.sim.queues import Store
 
@@ -33,4 +40,9 @@ __all__ = [
     "Resource",
     "ResourceRequest",
     "Store",
+    "EngineMode",
+    "FastPathSession",
+    "MutationClock",
+    "coerce_engine_mode",
+    "enable_fastpath",
 ]

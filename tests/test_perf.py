@@ -230,6 +230,57 @@ class TestSteadyStateDetector:
         assert det.converged()
         assert det.steady_value() == pytest.approx(0.5)
 
+    def test_rearm_forgets_converged_window(self):
+        """Regression: after a world perturbation the detector must demand
+        a *fresh* window — a stale pre-fault window must never keep
+        reporting the old converged value."""
+        det = SteadyStateDetector(window=3, rel_tol=0.0)
+        for _ in range(3):
+            det.observe(0.5)
+        assert det.converged()
+        det.rearm()
+        assert not det.converged()
+        assert det.samples == []
+        # fewer than `window` post-recovery samples: still not converged,
+        # even though the pre-fault window would have straddled them
+        det.observe(0.8)
+        det.observe(0.8)
+        assert not det.converged()
+        det.observe(0.8)
+        assert det.converged()
+        assert det.steady_value() == 0.8  # post-recovery value, not 0.5
+
+    def test_faulty_run_extrapolates_post_fault_step_time(self):
+        """End-to-end regression for the mid-run-fault re-arm: with zero
+        jitter the detector converges *before* the failure, so without the
+        re-arm the extrapolated tail would replay the 8-rank step time on
+        a 7-rank world.  The extrapolating run must match the full
+        simulation."""
+        from repro.faults import RankFailure
+        from repro.resilience import RecoveryPolicy
+
+        def run(steady_detect):
+            study = ScalingStudy(
+                scenario_by_name("MPI-Opt"),
+                StudyConfig(warmup_steps=1, measure_steps=12,
+                            jitter_sigma=0.0, steady_detect=steady_detect),
+                fault_plan=FaultPlan(
+                    seed=11, faults=[RankFailure(rank=3, time=2.0)]),
+                recovery=RecoveryPolicy(restart=False),
+            )
+            return study.run_point(8)
+
+        full = run(False)
+        extrapolated = run(True)
+        assert full.extrapolated_steps == 0
+        assert extrapolated.extrapolated_steps > 0
+        assert extrapolated.images_per_second == pytest.approx(
+            full.images_per_second, rel=1e-12)
+        assert extrapolated.step_time == pytest.approx(
+            full.step_time, rel=1e-12)
+        assert (extrapolated.resilience["final_world_size"]
+                == full.resilience["final_world_size"] == 7)
+
 
 class TestConvWorkspace:
     def test_buffer_reused_per_shape(self):

@@ -429,9 +429,9 @@ class TestSweep:
 
     def test_serve_digest_never_aliases_training(self):
         # serving preimages are keyed "serve-point"; the training sweeps
-        # use "scaling-point" — plus the v4 salt guards stale v3 caches
-        # (v4: selection-table digests joined the point/serve preimages)
-        assert CACHE_VERSION_SALT == "repro-perf-v4"
+        # use "scaling-point" — plus the v5 salt guards stale v4 caches
+        # (v5: engine_mode joined the study config and serve preimages)
+        assert CACHE_VERSION_SALT == "repro-perf-v5"
         from repro.perf.digest import canonical_json
 
         job = ServeJob(ServeScenario(), duration_s=5.0, seed=7)

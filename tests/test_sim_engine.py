@@ -1,6 +1,9 @@
 """Unit tests for the discrete-event simulation engine."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import DeadlockError, SimulationError
 from repro.sim import AllOf, AnyOf, Environment, Interrupt, Resource, Store
@@ -440,3 +443,94 @@ class TestConditionFailures:
         env = Environment()
         with pytest.raises(SimulationError):
             env.event().fail("not an exception")
+
+
+# keep hypothesis fast and deterministic in CI
+FAST = settings(max_examples=50, deadline=None)
+
+# finite non-negative delays; tight upper bound keeps runs instantaneous
+_delays = st.lists(
+    st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=30,
+)
+
+
+def _firing_order(delays, spawn_perm):
+    """Spawn one process per delay (in permuted order) and record the
+    (time, tag) sequence in which they complete."""
+    env = Environment()
+    order = []
+
+    def proc(env, tag, delay):
+        yield env.timeout(delay)
+        order.append((env.now, tag))
+
+    for tag in spawn_perm:
+        env.process(proc(env, int(tag), delays[int(tag)]))
+    env.run()
+    return order
+
+
+class TestEventOrderingProperties:
+    """The replay contract's foundation: the event queue is a *stable*
+    priority queue.  Completion order is a pure function of (delays,
+    spawn order) — re-running the same schedule, in any process, yields
+    the identical sequence, and equal timestamps resolve in scheduling
+    (FIFO) order, never by comparison of payloads or heap accidents."""
+
+    @given(delays=_delays, seed=st.integers(0, 2**32 - 1))
+    @FAST
+    def test_order_deterministic_in_seed_and_schedule(self, delays, seed):
+        perm = np.random.default_rng(seed).permutation(len(delays))
+        assert _firing_order(delays, perm) == _firing_order(delays, perm)
+
+    @given(delays=_delays, seed=st.integers(0, 2**32 - 1))
+    @FAST
+    def test_order_sorted_by_time_stable_in_spawn_order(self, delays, seed):
+        perm = np.random.default_rng(seed).permutation(len(delays))
+        order = _firing_order(delays, perm)
+        times = [t for t, _ in order]
+        assert times == sorted(times)
+        # among equal timestamps, completion order == spawn order
+        spawn_rank = {int(tag): i for i, tag in enumerate(perm)}
+        for (t1, a), (t2, b) in zip(order, order[1:]):
+            if t1 == t2:
+                assert spawn_rank[a] < spawn_rank[b]
+
+    @given(
+        dup=st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+        n=st.integers(2, 20),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @FAST
+    def test_identical_timestamps_fire_fifo(self, dup, n, seed):
+        """All-equal delays: pure tie-break territory.  The firing order
+        must be exactly the spawn order (replay-safe: no dependence on
+        heap layout or hashing)."""
+        perm = np.random.default_rng(seed).permutation(n)
+        order = _firing_order([dup] * n, perm)
+        assert [tag for _, tag in order] == [int(t) for t in perm]
+
+    @given(delays=_delays)
+    @FAST
+    def test_interleaved_spawn_does_not_reorder_equal_times(self, delays):
+        """Timeouts scheduled *during* the run (from a running process)
+        join the back of their timestamp's FIFO class, exactly as replay
+        assumes when it re-injects recorded completions."""
+        env = Environment()
+        order = []
+
+        def leaf(env, tag, delay):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        def spawner(env):
+            for tag, d in enumerate(delays):
+                env.process(leaf(env, tag, d))
+                yield env.timeout(0)
+
+        env.process(spawner(env))
+        env.run()
+        by_delay = sorted(range(len(delays)),
+                          key=lambda i: (delays[i], i))
+        assert order == by_delay
