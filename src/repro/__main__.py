@@ -61,9 +61,13 @@ def _add_engine_mode(parser: argparse.ArgumentParser) -> None:
 def cmd_scale(args: argparse.Namespace) -> int:
     scenario = scenario_by_name(args.scenario)
     gpu_counts = [int(g) for g in args.gpus.split(",")]
-    study = ScalingStudy(scenario, StudyConfig(measure_steps=args.steps,
+    # the measurement window must cover at least one local-SGD period
+    measure_steps = max(args.steps, args.local_sgd)
+    study = ScalingStudy(scenario, StudyConfig(measure_steps=measure_steps,
                                                model=args.model,
-                                               engine_mode=args.engine_mode))
+                                               engine_mode=args.engine_mode,
+                                               compression=args.compression,
+                                               local_sgd_h=args.local_sgd))
     cache = _make_cache(args)
     points = study.run(gpu_counts, jobs=args.jobs, cache=cache)
     table = TextTable(
@@ -330,7 +334,13 @@ def cmd_comm(args: argparse.Namespace) -> int:
     """``comm tune`` / ``comm show`` — the selection-table workflow."""
     import json
 
-    from repro.comm import TuningConfig, available_backends, default_table, tune_table
+    from repro.comm import (
+        TuningConfig,
+        available_backends,
+        default_table,
+        tune_compression_table,
+        tune_table,
+    )
     from repro.comm.selection import SelectionTable
 
     if args.comm_command == "tune":
@@ -339,7 +349,12 @@ def cmd_comm(args: argparse.Namespace) -> int:
             byte_points=tuple(int(s) for s in args.sizes.split(",")),
             rank_counts=tuple(int(r) for r in args.ranks.split(",")),
         )
-        table = tune_table(config, cache=_make_cache(args))
+        if args.compression:
+            table = tune_compression_table(
+                config, topk_ratio=args.topk_ratio, cache=_make_cache(args)
+            )
+        else:
+            table = tune_table(config, cache=_make_cache(args))
         print(table.render())
         print(f"table digest: {table.digest()}")
         if args.out:
@@ -394,6 +409,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bypass the on-disk result cache")
     scale.add_argument("--cache-dir", default=None,
                        help=f"result cache directory (default {default_cache_dir()})")
+    scale.add_argument("--compression", default="none",
+                       metavar="MODE",
+                       help="gradient compression: none, fp16, bf16, or "
+                            "topk:<ratio> (e.g. topk:0.01); see "
+                            "docs/compression.md")
+    scale.add_argument("--local-sgd", type=int, default=1, metavar="H",
+                       help="local-SGD sync period: H-1 communication-free "
+                            "steps between parameter-averaging syncs "
+                            "(1 = synchronous SGD)")
     _add_engine_mode(scale)
     scale.set_defaults(func=cmd_scale)
 
@@ -507,6 +531,11 @@ def build_parser() -> argparse.ArgumentParser:
     comm.add_argument("--table", default=None, metavar="PATH",
                       help="show a previously tuned table JSON instead of "
                            "the builtin default")
+    comm.add_argument("--compression", action="store_true",
+                      help="tune compression modes (none/fp16/topk) instead "
+                           "of collective algorithms")
+    comm.add_argument("--topk-ratio", type=float, default=0.01,
+                      help="top-k density for the compression sweep")
     comm.add_argument("--no-cache", action="store_true")
     comm.add_argument("--cache-dir", default=None)
     comm.set_defaults(func=cmd_comm)

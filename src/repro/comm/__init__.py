@@ -67,6 +67,7 @@ _LAZY = {
     "CANDIDATES": "repro.comm.tuning",
     "TuningConfig": "repro.comm.tuning",
     "default_table": "repro.comm.tuning",
+    "tune_compression_table": "repro.comm.tuning",
     "tune_table": "repro.comm.tuning",
     "tuning_digest": "repro.comm.tuning",
 }

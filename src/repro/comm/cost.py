@@ -18,6 +18,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hardware.specs import ClusterSpec
 
 
+#: Wire bytes per element of the default (fp32) gradient dtype.  This is
+#: the *only* place the 4 lives: every reduce-cost call site threads an
+#: explicit ``dtype_bytes`` that defaults to this constant, so compressed
+#: (2-byte) traffic prices its reduction kernels correctly everywhere.
+FLOAT32_BYTES = 4
+
+
+def reduce_elements(nbytes: int, dtype_bytes: int) -> float:
+    """Element count of an ``nbytes`` payload at ``dtype_bytes``/element."""
+    return nbytes / dtype_bytes
+
+
+def reduce_time(nbytes: int, dtype_bytes: int, *, reduce_flops: float) -> float:
+    """Elementwise-sum cost of combining two ``nbytes`` buffers."""
+    return reduce_elements(nbytes, dtype_bytes) / reduce_flops
+
+
 def alpha_beta_time(nbytes: int, *, alpha_s: float, bandwidth: float) -> float:
     """One message: startup latency plus serialization time."""
     if bandwidth == float("inf"):

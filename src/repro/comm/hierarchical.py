@@ -182,6 +182,32 @@ class HierarchicalCommunicator:
             )
         return segments
 
+    def _allgather_segments(self, nbytes_per_rank: int) -> dict[str, float]:
+        """Two-level allgather: intra gather to the leader, leader-ring
+        exchange over IB, then an intra broadcast of the remote portion."""
+        groups = self._node_groups()
+        g = max(len(grp) for grp in groups)
+        nodes = len(groups)
+        nv_bw, nv_alpha, ib_bw, ib_alpha = self._link_env(self.total_comm_time)
+        segments: dict[str, float] = {}
+        if g > 1:
+            segments["intra_gather"] = (
+                (g - 1) * nv_alpha + (g - 1) * nbytes_per_rank / nv_bw
+            )
+        if nodes > 1:
+            inter = (
+                (nodes - 1) * ib_alpha
+                + (nodes - 1) * g * nbytes_per_rank / ib_bw
+            )
+            inter += self._message_delay(groups, self.total_comm_time, ib_bw, ib_alpha)
+            segments["inter_allgather"] = inter
+            remote = (nodes - 1) * g * nbytes_per_rank
+            if g > 1:
+                segments["intra_broadcast"] = (
+                    math.ceil(math.log2(g)) * nv_alpha + remote / nv_bw
+                )
+        return segments
+
     def _bcast_segments(self, nbytes: int) -> dict[str, float]:
         groups = self._node_groups()
         g = max(len(grp) for grp in groups)
@@ -247,6 +273,32 @@ class HierarchicalCommunicator:
         )
         self._notify(timing)
         return timing
+
+    def allgather(
+        self, buffers: Sequence[GpuBuffer]
+    ) -> tuple[list | None, CollectiveTiming]:
+        """Gather every rank's data to all ranks (two-level envelope)."""
+        nbytes = self._validate(buffers)
+        datas = [b.data for b in buffers]
+        gathered = None
+        if all(d is not None for d in datas):
+            gathered = [d.copy() for d in datas]
+        segments = (
+            self._allgather_segments(nbytes)
+            if self.size > 1 and nbytes > 0
+            else {}
+        )
+        timing = CollectiveTiming(
+            "allgather",
+            ALGORITHM,
+            nbytes,
+            self.size,
+            sum(segments.values()),
+            ExecutionMode.ANALYTIC,
+            segments,
+        )
+        self._notify(timing)
+        return gathered, timing
 
     def bcast(
         self, buffers: Sequence[GpuBuffer], *, root_index: int = 0

@@ -171,6 +171,99 @@ def tune_table(config: TuningConfig, *, cache=None) -> SelectionTable:
     return table
 
 
+def _time_compression(comm, nbytes: int, mode: str, ratio: float) -> float:
+    """Simulated wire time of one gradient exchange under ``mode``."""
+    from repro.compression import sparse_wire_nbytes, top_k_count
+    from repro.mpi.comm import GpuBuffer
+    from repro.mpi.datatypes import Datatype
+
+    if mode == "none":
+        buffers = [GpuBuffer.virtual(nbytes) for _ in range(comm.size)]
+        return comm.allreduce(buffers).time
+    if mode == "fp16":
+        wire = (nbytes // Datatype.FLOAT32.size) * Datatype.FLOAT16.size
+        buffers = [
+            GpuBuffer.virtual(wire, Datatype.FLOAT16) for _ in range(comm.size)
+        ]
+        return comm.allreduce(buffers).time
+    # top-k: per-rank (index, value) payload exchanged via allgather
+    k = top_k_count(nbytes // Datatype.FLOAT32.size, ratio)
+    wire = sparse_wire_nbytes(k)
+    buffers = [GpuBuffer.virtual(wire, Datatype.UINT8) for _ in range(comm.size)]
+    _, timing = comm.allgather(buffers)
+    return timing.time
+
+
+def tune_compression_table(
+    config: TuningConfig, *, topk_ratio: float = 0.01, cache=None
+) -> SelectionTable:
+    """Sweep compression modes over the grid and emit the argmin table.
+
+    Same machinery as :func:`tune_table`, but the candidates are wire
+    formats rather than collective algorithms: dense fp32 ("none"), dense
+    fp16 (half the bytes through the same allreduce), and top-k sparse
+    (k·8 bytes per rank through an allgather — a different collective
+    *shape*, which is why this cannot be folded into the algorithm table).
+    The result is stored under backend key ``"<backend>+compression"`` and
+    is advisory: it reports which mode the cost model favours per
+    (bytes, ranks) regime, it does not rewrite a study's configuration.
+    """
+    from repro.perf.digest import canonical_digest
+
+    digest = canonical_digest(
+        {
+            "kind": "comm-compression-tuning",
+            "config": config,
+            "topk_ratio": topk_ratio,
+        }
+    )
+    memo = _TUNE_MEMO.get(digest)
+    if memo is not None:
+        return memo
+    if cache is not None and getattr(cache, "enabled", True):
+        hit = cache.get(digest)
+        if hit is not None:
+            table = SelectionTable.from_payload(hit)
+            _TUNE_MEMO[digest] = table
+            return table
+
+    candidates = ("none", "fp16", f"topk:{topk_ratio:g}")
+    timings: dict[str, dict[str, float]] = {}
+    grid: list[list[str]] = []
+    for nbytes in config.byte_points:
+        row: list[str] = []
+        for num_ranks in config.rank_counts:
+            comm = _build_sweep_comm(config, num_ranks)
+            best_mode, best_time = None, math.inf
+            cell: dict[str, float] = {}
+            for mode in candidates:
+                t = _time_compression(comm, nbytes, mode, topk_ratio)
+                cell[mode] = t
+                if t < best_time:
+                    best_mode, best_time = mode, t
+            timings[f"{nbytes}x{num_ranks}"] = cell
+            row.append(best_mode)
+        grid.append(row)
+
+    table = SelectionTable(
+        backend=f"{config.backend}+compression",
+        byte_edges=_geometric_edges(config.byte_points),
+        rank_edges=_geometric_edges(config.rank_counts),
+        algorithms=tuple(tuple(row) for row in grid),
+        source="tuned",
+        extra={
+            "byte_points": list(config.byte_points),
+            "rank_counts": list(config.rank_counts),
+            "topk_ratio": topk_ratio,
+            "timings": timings,
+        },
+    )
+    _TUNE_MEMO[digest] = table
+    if cache is not None and getattr(cache, "enabled", True):
+        cache.put(digest, table.to_payload())
+    return table
+
+
 def default_table(backend: str) -> SelectionTable:
     """The built-in table mirroring each backend's historical heuristic.
 

@@ -1,0 +1,44 @@
+"""Gradient compression & communication reduction (``repro.compression``).
+
+Three mechanisms, each with a simulated wire-cost story *and* a
+functional numpy-trainer story:
+
+* dense precision compression (fp16 / bf16) — `compressor`,
+* top-k sparsification with error feedback — `topk`,
+* local-SGD periodic averaging — configured on the trainer/study
+  (``local_sgd_h``), priced as a parameter allreduce every H steps.
+
+See ``docs/compression.md`` for wire formats and the autotuner story.
+"""
+
+from repro.compression.config import (
+    CompressionConfig,
+    TOPK_INDEX_BYTES,
+    TOPK_VALUE_BYTES,
+)
+from repro.compression.compressor import (
+    Bf16Compressor,
+    Fp16Compressor,
+    IdentityCompressor,
+    build_compressor,
+)
+from repro.compression.topk import (
+    sparse_wire_nbytes,
+    sparsify_with_feedback,
+    top_k_count,
+    top_k_indices,
+)
+
+__all__ = [
+    "CompressionConfig",
+    "TOPK_INDEX_BYTES",
+    "TOPK_VALUE_BYTES",
+    "IdentityCompressor",
+    "Fp16Compressor",
+    "Bf16Compressor",
+    "build_compressor",
+    "top_k_count",
+    "top_k_indices",
+    "sparsify_with_feedback",
+    "sparse_wire_nbytes",
+]

@@ -1,0 +1,63 @@
+"""Deterministic top-k sparsification with error feedback.
+
+Selection is ordered by ``(-|value|, index)`` — a stable argsort on the
+negated magnitudes — so ties break toward the lowest index and every
+replica selects the same coordinates for the same input.  Error feedback
+keeps the unselected mass in a per-(rank, tensor) residual that is added
+back before the next selection, so no gradient mass is ever dropped,
+only delayed (Stich et al., "Sparsified SGD with Memory").
+
+Wire format: each rank contributes ``k`` (int32 index, fp32 value)
+pairs; ranks exchange them with an **allgather** (sparse patterns differ
+per rank, so a reduction cannot combine payloads in-network).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.config import TOPK_INDEX_BYTES, TOPK_VALUE_BYTES
+
+
+def top_k_count(elements: int, ratio: float) -> int:
+    """Number of elements kept for a tensor of ``elements`` entries."""
+    if elements <= 0:
+        return 0
+    return max(1, min(elements, int(ratio * elements)))
+
+
+def top_k_indices(flat: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest-magnitude entries, ascending order.
+
+    Deterministic: ties in magnitude resolve to the lowest index (stable
+    sort), and the returned indices are sorted so the wire layout does
+    not depend on the sort's internal order.
+    """
+    order = np.argsort(-np.abs(flat), kind="stable")[:k]
+    return np.sort(order)
+
+
+def sparsify_with_feedback(
+    grad: np.ndarray, residual: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """One error-feedback step: select top-k of (grad + residual).
+
+    Mutates ``residual`` in place to hold the unselected mass and
+    returns ``(indices, values)``.  The invariant — exact, no floating
+    rounding beyond the single add — is::
+
+        scatter(values at indices) + residual == grad + residual_before
+
+    element for element.
+    """
+    send = grad + residual
+    idx = top_k_indices(send, k)
+    values = send[idx].copy()
+    residual[...] = send
+    residual[idx] = 0.0
+    return idx, values
+
+
+def sparse_wire_nbytes(k: int) -> int:
+    """Per-rank bytes on the wire for a k-element sparse payload."""
+    return k * (TOPK_INDEX_BYTES + TOPK_VALUE_BYTES)

@@ -24,6 +24,7 @@ from repro.core.calibration import (
     TRAIN_BATCH_PER_GPU,
 )
 from repro.comm.api import broadcast_weights
+from repro.compression import CompressionConfig
 from repro.core.scenarios import Scenario
 from repro.errors import ConfigError
 from repro.hardware.cluster import build_cluster
@@ -75,6 +76,13 @@ class StudyConfig:
     # replays recurrences bit-identically (equivalence pinned by
     # tests/test_engine_equivalence.py).
     engine_mode: str = "exact"
+    # Gradient compression spec ("none", "fp16", "bf16", "topk:<ratio>")
+    # applied at the Horovod engine's wire boundary; see docs/compression.md.
+    compression: str = "none"
+    # Local-SGD sync period H: 1 is synchronous SGD (gradient allreduce
+    # every step); H > 1 runs H-1 communication-free local steps between
+    # parameter-averaging syncs.
+    local_sgd_h: int = 1
 
     def __post_init__(self) -> None:
         if self.batch_per_gpu < 1:
@@ -89,6 +97,18 @@ class StudyConfig:
             raise ConfigError(
                 f"engine_mode must be 'exact' or 'fast', got {self.engine_mode!r}"
             )
+        if self.local_sgd_h < 1:
+            raise ConfigError(
+                f"local_sgd_h must be >= 1, got {self.local_sgd_h}"
+            )
+        if self.local_sgd_h > self.measure_steps:
+            # a measurement window shorter than one period would never
+            # execute a parameter sync and report zero communication
+            raise ConfigError(
+                f"measure_steps ({self.measure_steps}) must cover at least "
+                f"one local-SGD period (local_sgd_h={self.local_sgd_h})"
+            )
+        CompressionConfig.parse(self.compression)  # raises ConfigError
 
 
 @dataclass
@@ -186,6 +206,18 @@ class ScalingStudy:
                 ready_time=max(0.0, t.ready_fraction * backward_time * (1.0 + eps)),
             )
             for t, eps in zip(schedule, noise)
+        ]
+
+    def _parameter_stream(self) -> list[PendingTensor]:
+        """Model weights as a zero-ready-time stream (local-SGD sync).
+
+        Parameter tensors mirror the gradient schedule's names and sizes;
+        they are all resident when the sync fires, so every ready time is
+        zero and fusion packs them as one back-to-back burst.
+        """
+        return [
+            PendingTensor(t.name, t.nbytes, ready_time=0.0)
+            for t in self.cost.gradient_schedule()
         ]
 
     def contexts_per_gpu(self) -> int:
@@ -323,27 +355,83 @@ class ScalingStudy:
             enable_fastpath(world)
         if hvprof is not None:
             comm.add_observer(hvprof.observer)
-        engine = HorovodEngine(comm, cfg.horovod)
+        engine = HorovodEngine(
+            comm, cfg.horovod,
+            compression=CompressionConfig.parse(cfg.compression),
+        )
         backward_eff = backward * straggler_factor(num_gpus, sigma=cfg.jitter_sigma)
         transport = getattr(world, "transport", None)
         # seeded independently of the scenario so that scenario comparisons
         # (Figs. 10-12) see identical per-step jitter (paired runs)
         rng = SeedSequenceFactory(2021).generator("gradient-jitter", num_gpus)
+        H = cfg.local_sgd_h
         timing: StepTiming | None = None
+        if H > 1:
+            # a short run may end before any sync boundary fires; the
+            # point's comm fields then report the zero-comm local regime
+            timing = StepTiming(
+                backward_time=backward_eff, comm_finish=0.0,
+                coordination_time=0.0,
+            )
         step_times = []
         blocking = 0.0
         # Steady-state extrapolation only makes sense in performance mode:
         # a profiler is counting per-step ops, so every step must be real.
         detector = None
+        periodic = None
         if (
             cfg.steady_detect
             and hvprof is None
             and cfg.measure_steps > cfg.steady_window
         ):
-            from repro.perf.steady import SteadyStateDetector
+            if H > 1:
+                from repro.perf.steady import PeriodicSteadyState
 
-            detector = SteadyStateDetector(cfg.steady_window, cfg.steady_rel_tol)
+                periodic = PeriodicSteadyState(
+                    H, cfg.steady_window, cfg.steady_rel_tol
+                )
+            else:
+                from repro.perf.steady import SteadyStateDetector
+
+                detector = SteadyStateDetector(
+                    cfg.steady_window, cfg.steady_rel_tol
+                )
+        next_phase = 0
         for step_index in range(cfg.warmup_steps + cfg.measure_steps):
+            if H > 1:
+                # local-SGD: H-1 communication-free steps, then a
+                # parameter-averaging sync priced through the engine
+                if (step_index + 1) % H == 0:
+                    staged_before = (
+                        transport.max_staged_seconds() if transport else 0.0
+                    )
+                    timing = engine.run_step(
+                        self._parameter_stream(),
+                        backward_time=0.0,
+                        force_dense=True,
+                    )
+                    staged_delta = (
+                        transport.max_staged_seconds() - staged_before
+                        if transport else 0.0
+                    )
+                    blocking = staged_delta * PAGEABLE_BLOCKING_FACTOR
+                    step = (
+                        forward + backward_eff + blocking + update
+                        + timing.comm_finish
+                    )
+                else:
+                    step = forward + backward_eff + update
+                if step_index >= cfg.warmup_steps:
+                    step_times.append(step)
+                    if (
+                        periodic is not None
+                        and len(step_times) < cfg.measure_steps
+                    ):
+                        periodic.observe(step, step_index % H)
+                        if periodic.converged():
+                            next_phase = (step_index + 1) % H
+                            break
+                continue
             stream = self._gradient_stream(backward_eff, rng=rng)
             staged_before = transport.max_staged_seconds() if transport else 0.0
             timing = engine.run_step(stream, backward_time=backward_eff)
@@ -377,8 +465,16 @@ class ScalingStudy:
             # the tail replaced by the steady value.  The residual error is
             # bounded by ``steady_rel_tol`` (at the default 1e-9 detection
             # only ever fires on ulp-level accumulator noise, so the mean
-            # agrees with the slow path to ~1e-15 relative).
-            step_times.extend([detector.steady_value()] * extrapolated_steps)
+            # agrees with the slow path to ~1e-15 relative).  Local-SGD
+            # extrapolation replays the H-step cadence phase-aligned.
+            if periodic is not None:
+                step_times.extend(
+                    periodic.extrapolate(next_phase, extrapolated_steps)
+                )
+            else:
+                step_times.extend(
+                    [detector.steady_value()] * extrapolated_steps
+                )
         mean_step = sum(step_times) / len(step_times)
         regcache = None
         if self.scenario.backend == "mpi":
@@ -454,7 +550,10 @@ class ScalingStudy:
             session = enable_fastpath(world)
         if hvprof is not None:
             comm.add_observer(hvprof.observer)
-        engine = HorovodEngine(comm, cfg.horovod)
+        engine = HorovodEngine(
+            comm, cfg.horovod,
+            compression=CompressionConfig.parse(cfg.compression),
+        )
         policy = self.recovery or RESTART_FROM_CHECKPOINT
         supervisor = HeartbeatSupervisor(
             range(num_gpus), injector, policy.heartbeat
@@ -475,15 +574,32 @@ class ScalingStudy:
         # value; between perturbations, converged steps replay the steady
         # value without walking the engine.
         detector = None
+        periodic = None
         extrapolated = 0
+        H = cfg.local_sgd_h
+        blocking = 0.0
+        timing: StepTiming | None = None
+        if H > 1:
+            timing = StepTiming(
+                backward_time=backward, comm_finish=0.0, coordination_time=0.0
+            )
         if (
             cfg.steady_detect
             and hvprof is None
             and cfg.measure_steps > cfg.steady_window
         ):
-            from repro.perf.steady import SteadyStateDetector
+            if H > 1:
+                from repro.perf.steady import PeriodicSteadyState
 
-            detector = SteadyStateDetector(cfg.steady_window, cfg.steady_rel_tol)
+                periodic = PeriodicSteadyState(
+                    H, cfg.steady_window, cfg.steady_rel_tol
+                )
+            else:
+                from repro.perf.steady import SteadyStateDetector
+
+                detector = SteadyStateDetector(
+                    cfg.steady_window, cfg.steady_rel_tol
+                )
         if policy.restart:
             cost = policy.checkpoint.write_cost(ckpt_nbytes)
             clock += cost
@@ -508,6 +624,8 @@ class ScalingStudy:
                     session.invalidate()
                 if detector is not None:
                     detector.rearm()
+                if periodic is not None:
+                    periodic.rearm()
                 if policy.restart:
                     lost_steps = len(records) - last_ckpt
                     if lost_steps > 0:
@@ -532,6 +650,8 @@ class ScalingStudy:
                             session.invalidate()
                         if detector is not None:
                             detector.rearm()
+                        if periodic is not None:
+                            periodic.rearm()
                         acct.note_blacklist(rank)
                         injector.record(
                             "rank-blacklisted", clock, rank=rank,
@@ -547,6 +667,8 @@ class ScalingStudy:
                         session.invalidate()
                     if detector is not None:
                         detector.rearm()
+                    if periodic is not None:
+                        periodic.rearm()
                     # the regrown replica's weights ride the re-formed
                     # ring: one comm-layer broadcast of the checkpoint
                     # payload, charged with the restart overhead
@@ -566,40 +688,70 @@ class ScalingStudy:
                 f = injector.compute_factor(rank, clock, step_index)
                 supervisor.note_compute(rank, f, clock)
                 fault_factor = max(fault_factor, f)
-            if fault_factor > 1.0 and detector is not None:
+            if fault_factor > 1.0:
                 # a straggler slowdown perturbs the step time without any
                 # membership change — the converged value is stale
-                detector.rearm()
+                if detector is not None:
+                    detector.rearm()
+                if periodic is not None:
+                    periodic.rearm()
             backward_eff = (
                 backward
                 * straggler_factor(len(live), sigma=cfg.jitter_sigma)
                 * fault_factor
             )
-            # Always draw the gradient stream, even for extrapolated steps:
-            # the jitter RNG must consume the same draws as a full run so a
-            # re-armed resumption stays aligned with exact simulation.
-            stream = self._gradient_stream(backward_eff, rng=rng)
+            if H == 1:
+                # Always draw the gradient stream, even for extrapolated
+                # steps: the jitter RNG must consume the same draws as a
+                # full run so a re-armed resumption stays aligned with
+                # exact simulation.  (Local-SGD never draws: neither the
+                # local steps nor the parameter sync carry jitter.)
+                stream = self._gradient_stream(backward_eff, rng=rng)
+            sync_step = H > 1 and (step_index + 1) % H == 0
             if detector is not None and detector.converged():
                 step = detector.steady_value()
                 extrapolated += 1
+            elif periodic is not None and periodic.converged():
+                step = periodic.phase_value(step_index)
+                extrapolated += 1
+            elif H > 1 and not sync_step:
+                step = forward + backward_eff + update
+                if periodic is not None and step_index >= cfg.warmup_steps:
+                    periodic.observe(step, step_index % H)
             else:
                 staged_before = (
                     transport.max_staged_seconds() if transport else 0.0
                 )
-                timing = engine.run_step(stream, backward_time=backward_eff)
+                if sync_step:
+                    timing = engine.run_step(
+                        self._parameter_stream(),
+                        backward_time=0.0,
+                        force_dense=True,
+                    )
+                else:
+                    timing = engine.run_step(stream, backward_time=backward_eff)
                 staged_delta = (
                     transport.max_staged_seconds() - staged_before
                     if transport else 0.0
                 )
                 blocking = staged_delta * PAGEABLE_BLOCKING_FACTOR
-                step = (
-                    forward
-                    + max(backward_eff, timing.comm_finish)
-                    + blocking
-                    + update
-                )
-                if detector is not None and step_index >= cfg.warmup_steps:
-                    detector.observe(step)
+                if sync_step:
+                    step = (
+                        forward + backward_eff + blocking + update
+                        + timing.comm_finish
+                    )
+                else:
+                    step = (
+                        forward
+                        + max(backward_eff, timing.comm_finish)
+                        + blocking
+                        + update
+                    )
+                if step_index >= cfg.warmup_steps:
+                    if detector is not None:
+                        detector.observe(step)
+                    if periodic is not None:
+                        periodic.observe(step, step_index % H)
             records.append((step, len(live)))
             clock += step
             acct.note_productive(step)

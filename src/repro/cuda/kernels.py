@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.comm.cost import FLOAT32_BYTES, reduce_elements
 from repro.errors import ConfigError
 from repro.hardware.specs import GpuSpec
 
@@ -53,9 +54,11 @@ class KernelCostModel:
         )
         return self.gpu.kernel_launch_overhead_s + max(compute_bound, memory_bound)
 
-    def device_reduce_time(self, nbytes: int, dtype_size: int = 4) -> float:
+    def device_reduce_time(
+        self, nbytes: int, dtype_bytes: int = FLOAT32_BYTES
+    ) -> float:
         """Elementwise sum of two device buffers (used by IPC allreduce)."""
-        elements = nbytes / dtype_size
+        elements = reduce_elements(nbytes, dtype_bytes)
         # 1 FLOP per element; 3 memory ops per element (2 loads, 1 store).
         launch = KernelLaunch("reduce", flops=elements, bytes_accessed=3 * nbytes)
         return self.duration(launch)

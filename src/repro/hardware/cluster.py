@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Generator
 
+from repro.comm.cost import FLOAT32_BYTES, reduce_time
 from repro.errors import HardwareError
 from repro.perf import flags as perf_flags
 from repro.sim.engine import Environment
@@ -232,10 +233,14 @@ class Cluster:
         """Cost of one CPU memcpy (staging copy) of ``nbytes`` on a node."""
         return nbytes / self.nodes[node_id].spec.cpu.memcpy_bandwidth
 
-    def host_reduce_time(self, node_id: int, nbytes: int, dtype_size: int = 4) -> float:
+    def host_reduce_time(
+        self, node_id: int, nbytes: int, dtype_bytes: int = FLOAT32_BYTES
+    ) -> float:
         """Cost of an elementwise sum of two ``nbytes`` buffers on the CPU."""
-        elements = nbytes / dtype_size
-        return elements / self.nodes[node_id].spec.cpu.reduce_flops
+        return reduce_time(
+            nbytes, dtype_bytes,
+            reduce_flops=self.nodes[node_id].spec.cpu.reduce_flops,
+        )
 
     def link_utilization_report(self) -> dict[str, int]:
         """Total bytes carried per link kind (for contention analysis)."""

@@ -17,12 +17,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.compression import (
+    CompressionConfig,
+    build_compressor,
+    sparse_wire_nbytes,
+    sparsify_with_feedback,
+    top_k_count,
+)
 from repro.errors import HorovodError
 from repro.horovod.coordinator import CoordinatorModel
 from repro.horovod.env import HorovodConfig
 from repro.horovod.fusion import FusionMessage, PendingTensor, TensorFusion
 from repro.horovod.timeline import Timeline
 from repro.mpi.comm import GpuBuffer
+from repro.mpi.datatypes import Datatype
 
 
 @dataclass
@@ -70,12 +78,20 @@ class HorovodEngine:
         *,
         coordinator: CoordinatorModel | None = None,
         timeline: Timeline | None = None,
+        compression: CompressionConfig | None = None,
     ):
         self.comm = comm
         self.config = config or HorovodConfig()
         self.fusion = TensorFusion(self.config)
         self.coordinator = coordinator or CoordinatorModel()
         self.timeline = timeline
+        self.compression = compression or CompressionConfig()
+        self.compressor = build_compressor(self.compression)
+        # top-k error-feedback residuals, keyed (world rank id, tensor name).
+        # Survives ring reforms: a surviving rank keeps its accumulated
+        # feedback across elastic shrink/regrow, but a *re-admitted* rank
+        # must start from zero (see drop_compression_state).
+        self._topk_residuals: dict[tuple, np.ndarray] = {}
         # Stable fusion-buffer identities per (slot, rank): the reuse that
         # makes the registration cache effective (paper §III-D).
         self._slot_buffers: dict[tuple[int, int], int] = {}
@@ -145,14 +161,42 @@ class HorovodEngine:
         self._response_cache.clear()
         clear_schedule_cache()
 
+    def drop_compression_state(self, rank: int) -> None:
+        """Forget a rank's error-feedback residuals.
+
+        Called when a rank leaves the ring *and* when one is re-admitted:
+        a regrown replica starts from freshly-initialized state, so letting
+        it resurrect a stale residual would silently inject gradient mass
+        from a model that no longer exists.
+        """
+        stale = [key for key in self._topk_residuals if key[0] == rank]
+        for key in stale:
+            del self._topk_residuals[key]
+
     # -- buffers -----------------------------------------------------------------
-    def _buffers_for(self, message: FusionMessage) -> list[GpuBuffer]:
-        """Per-rank GpuBuffers for one message (stable ids for fused slots)."""
-        functional = all(t.data is not None for t in message.tensors)
-        if functional:
-            packed = TensorFusion.pack(message, self.num_ranks)
+    def _buffers_for(
+        self,
+        message: FusionMessage,
+        *,
+        wire_nbytes: int | None = None,
+        dtype: Datatype = Datatype.FLOAT32,
+        datas: list | None = None,
+    ) -> list[GpuBuffer]:
+        """Per-rank GpuBuffers for one message (stable ids for fused slots).
+
+        With no overrides this builds the uncompressed fp32 wire image.  A
+        compressor swaps in its own ``wire_nbytes``/``dtype``/``datas``
+        while keeping the same buffer identities, so the registration cache
+        sees one stable fusion buffer regardless of wire format.
+        """
+        if datas is None:
+            functional = all(t.data is not None for t in message.tensors)
+            if functional:
+                datas = TensorFusion.pack(message, self.num_ranks)
+        nbytes = message.nbytes if wire_nbytes is None else wire_nbytes
         buffers = []
         for rank in range(self.num_ranks):
+            data = datas[rank] if datas is not None else None
             if message.fused:
                 key = (message.buffer_slot, rank)
                 if key in self._slot_buffers:
@@ -162,8 +206,9 @@ class HorovodEngine:
                     buffer_id = probe.buffer_id
                     self._slot_buffers[key] = buffer_id
                 buf = GpuBuffer(
-                    nbytes=message.nbytes,
-                    data=packed[rank] if functional else None,
+                    nbytes=nbytes,
+                    dtype=dtype,
+                    data=data,
                     name=f"fusion-slot{message.buffer_slot}",
                     buffer_id=buffer_id,
                 )
@@ -172,16 +217,137 @@ class HorovodEngine:
                 # every step: no stable identity, no registration reuse
                 tensor = message.tensors[0]
                 buf = GpuBuffer(
-                    nbytes=tensor.nbytes,
-                    data=packed[rank] if functional else None,
+                    nbytes=nbytes,
+                    dtype=dtype,
+                    data=data,
                     name=tensor.name,
                 )
             buffers.append(buf)
         return buffers
 
+    # -- submission paths --------------------------------------------------------
+    def _submit_dense(self, message: FusionMessage, start: float) -> MessageRecord:
+        """Dense allreduce of one fusion message, through the configured
+        compressor.  ``mode="none"`` reproduces the uncompressed path
+        byte-for-byte; fp16/bf16 halve the wire image before submission."""
+        mode = self.compression.mode
+        functional = all(t.data is not None for t in message.tensors)
+        if mode == "none":
+            buffers = self._buffers_for(message)
+            timing = self.comm.allreduce(buffers, average=True)
+            if functional:
+                TensorFusion.unpack(message, [b.data for b in buffers])
+        else:
+            wire_nbytes = self.compressor.wire_nbytes(message.nbytes)
+            packed = TensorFusion.pack(message, self.num_ranks) if functional else None
+            if mode == "fp16":
+                datas = (
+                    [self.compressor.compress(p) for p in packed]
+                    if functional
+                    else [None] * self.num_ranks
+                )
+                buffers = self._buffers_for(
+                    message,
+                    wire_nbytes=wire_nbytes,
+                    dtype=self.compressor.wire_dtype,
+                    datas=datas,
+                )
+                timing = self.comm.allreduce(buffers, average=True)
+                if functional:
+                    TensorFusion.unpack(
+                        message, [self.compressor.decompress(b.data) for b in buffers]
+                    )
+            else:  # bf16: numpy has no native bfloat16, so the arithmetic
+                # happens locally on truncated fp32 while the wire is priced
+                # as 2-byte elements through virtual buffers.
+                buffers = self._buffers_for(
+                    message,
+                    wire_nbytes=wire_nbytes,
+                    dtype=self.compressor.wire_dtype,
+                    datas=[None] * self.num_ranks,
+                )
+                timing = self.comm.allreduce(buffers, average=True)
+                if functional:
+                    truncated = [self.compressor.compress(p) for p in packed]
+                    total = truncated[0].copy()
+                    for arr in truncated[1:]:
+                        total += arr
+                    result = self.compressor.compress(total / self.num_ranks)
+                    TensorFusion.unpack(message, [result] * self.num_ranks)
+        finish = start + timing.time
+        return MessageRecord(
+            nbytes=buffers[0].nbytes,
+            start=start,
+            finish=finish,
+            fused_count=len(message.tensors),
+            algorithm=timing.algorithm,
+        )
+
+    def _submit_sparse(self, message: FusionMessage, start: float) -> MessageRecord:
+        """Top-k sparse exchange of one (unfused) tensor.
+
+        Each rank contributes k (index, value) pairs selected from its
+        gradient plus accumulated residual; the exchange is an allgather
+        (no in-network reduction over mismatched index sets), and every
+        rank reconstructs the dense average locally.
+        """
+        tensor = message.tensors[0]
+        elements = tensor.nbytes // Datatype.FLOAT32.size
+        k = top_k_count(elements, self.compression.topk_ratio)
+        wire = sparse_wire_nbytes(k)
+        if tensor.data is not None:
+            dense = np.zeros(elements, dtype=np.float32)
+            for i, rank_id in enumerate(self.comm.ranks):
+                flat = np.ascontiguousarray(
+                    tensor.data[i], dtype=np.float32
+                ).reshape(-1)
+                key = (rank_id, tensor.name)
+                residual = self._topk_residuals.get(key)
+                if residual is None:
+                    residual = np.zeros(elements, dtype=np.float32)
+                    self._topk_residuals[key] = residual
+                indices, values = sparsify_with_feedback(flat, residual, k)
+                dense[indices] += values
+            average = dense / self.num_ranks
+            for i in range(self.num_ranks):
+                tensor.data[i][...] = average.reshape(tensor.data[i].shape)
+        # sparse payloads reuse a stable per-tensor wire buffer each step,
+        # so the registration cache (and the fastpath ring memo) still key
+        # on a fixed identity despite the fresh (index, value) content
+        buffers = []
+        for rank in range(self.num_ranks):
+            key = (f"sparse:{tensor.name}", rank)
+            if key in self._slot_buffers:
+                buffer_id = self._slot_buffers[key]
+            else:
+                probe = GpuBuffer.virtual(0)
+                buffer_id = probe.buffer_id
+                self._slot_buffers[key] = buffer_id
+            buffers.append(
+                GpuBuffer(
+                    nbytes=wire,
+                    dtype=Datatype.UINT8,
+                    name=f"sparse:{tensor.name}",
+                    buffer_id=buffer_id,
+                )
+            )
+        _, timing = self.comm.allgather(buffers)
+        finish = start + timing.time
+        return MessageRecord(
+            nbytes=wire,
+            start=start,
+            finish=finish,
+            fused_count=1,
+            algorithm=timing.algorithm,
+        )
+
     # -- main entry -------------------------------------------------------------
     def run_step(
-        self, tensors: list[PendingTensor], *, backward_time: float = 0.0
+        self,
+        tensors: list[PendingTensor],
+        *,
+        backward_time: float = 0.0,
+        force_dense: bool = False,
     ) -> StepTiming:
         """Reduce one step's gradient stream; average across ranks.
 
@@ -191,7 +357,13 @@ class HorovodEngine:
         back-pressure dynamic that grows fusion sizes when the backend is
         slow — and, with the tuned cycle times the paper uses (§II-D), what
         produces the 16-64 MB fused messages of Table I.
+
+        ``force_dense`` disables top-k sparsification for this call only —
+        used by local-SGD parameter synchronization, where sparsifying the
+        *weights* (rather than gradients) would break the averaging
+        contract.  Dense fp16/bf16 compression still applies.
         """
+        sparse_active = self.compression.is_sparse and not force_dense
         for t in tensors:
             if t.data is not None and len(t.data) != self.num_ranks:
                 raise HorovodError(
@@ -240,34 +412,28 @@ class HorovodEngine:
             coordination += overhead
             fire += overhead
             # pack the drained set greedily into fusion-buffer messages
-            # (same greedy loop the offline planner uses — one home now)
+            # (same greedy loop the offline planner uses — one home now);
+            # sparse messages bypass fusion entirely: each tensor carries
+            # its own (index, value) payload, so threshold 0 sends singles
             messages, slot = TensorFusion.pack_greedy(
-                drained, self.config.fusion_threshold,
+                drained,
+                0 if sparse_active else self.config.fusion_threshold,
                 cycle_index=cycles_used - 1, slot_start=slot,
             )
             for message in messages:
                 start = max(fire, exec_free)
-                buffers = self._buffers_for(message)
-                timing = self.comm.allreduce(buffers, average=True)
-                if all(t.data is not None for t in message.tensors):
-                    TensorFusion.unpack(message, [b.data for b in buffers])
-                finish = start + timing.time
-                exec_free = finish
-                records.append(
-                    MessageRecord(
-                        nbytes=message.nbytes,
-                        start=start,
-                        finish=finish,
-                        fused_count=len(message.tensors),
-                        algorithm=timing.algorithm,
-                    )
-                )
+                if sparse_active:
+                    record = self._submit_sparse(message, start)
+                else:
+                    record = self._submit_dense(message, start)
+                exec_free = record.finish
+                records.append(record)
                 if self.timeline is not None:
                     self.timeline.record(
-                        "allreduce",
+                        "allgather" if sparse_active else "allreduce",
                         start=start,
-                        duration=timing.time,
-                        nbytes=message.nbytes,
+                        duration=record.duration,
+                        nbytes=record.nbytes,
                         detail=",".join(message.names[:4]),
                     )
         comm_finish = records[-1].finish if records else 0.0

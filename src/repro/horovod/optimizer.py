@@ -77,6 +77,7 @@ class DistributedOptimizer:
         del self.ranks[i]
         del self.models[i]
         del self.optimizers[i]
+        self.engine.drop_compression_state(rank)
         self.engine.shrink_to(self.ranks)
 
     def add_rank(self, rank: int, model: Module, optimizer: Optimizer) -> None:
@@ -88,6 +89,9 @@ class DistributedOptimizer:
         self.ranks.insert(i, rank)
         self.models.insert(i, model)
         self.optimizers.insert(i, optimizer)
+        # a regrown replica starts from fresh state: any error-feedback
+        # residual surviving from the rank's previous life is stale
+        self.engine.drop_compression_state(rank)
         self.engine.reform_to(self.ranks)
 
     def zero_grad(self) -> None:
@@ -131,3 +135,41 @@ class DistributedOptimizer:
         for opt in self.optimizers:
             opt.step()
         return timing
+
+    # -- local SGD ----------------------------------------------------------
+    def step_local(self) -> None:
+        """Apply each replica's *local* gradients without any reduction
+        (local-SGD inner step: replicas diverge until the next sync)."""
+        for opt in self.optimizers:
+            opt.step()
+
+    def sync_parameters(self) -> StepTiming:
+        """Average model *parameters* across replicas (local-SGD sync point).
+
+        Runs the live weight arrays through the engine as a zero-ready-time
+        stream so the synchronization is priced with the same fusion and
+        collective machinery as a gradient reduction.  ``force_dense``
+        because sparsifying weights would break the averaging contract;
+        dense fp16/bf16 compression still applies (and is therefore an
+        explicit accuracy trade documented in docs/compression.md).
+        """
+        named = [dict(m.named_parameters()) for m in self.models]
+        names = list(named[0].keys())
+        stream: list[PendingTensor] = []
+        for name in names:
+            arrays = []
+            for rank, params in enumerate(named):
+                if name not in params:
+                    raise HorovodError(
+                        f"replica {rank} is missing parameter {name!r}"
+                    )
+                arrays.append(params[name].data)
+            stream.append(
+                PendingTensor(
+                    name=name,
+                    nbytes=arrays[0].size * arrays[0].itemsize,
+                    ready_time=0.0,
+                    data=arrays,
+                )
+            )
+        return self.engine.run_step(stream, backward_time=0.0, force_dense=True)

@@ -1,10 +1,13 @@
 """MPI_Allgather: ring algorithm.
 
-Used by Horovod's coordinator for the tensor-negotiation metadata exchange.
+Used by Horovod's coordinator for the tensor-negotiation metadata exchange
+and by the top-k sparse gradient exchange (each rank contributes its own
+(index, value) payload; no in-network reduction is possible).
 """
 
 from __future__ import annotations
 
+from repro.comm.cost import FLOAT32_BYTES
 from repro.mpi.collectives.base import CollectiveTiming, RingSchedule, StepCoster
 
 
@@ -14,13 +17,14 @@ def allgather_timing(
     nbytes_per_rank: int,
     *,
     buffer_ids: dict[int, int] | None = None,
+    dtype_bytes: int = FLOAT32_BYTES,
 ) -> CollectiveTiming:
     """Each rank contributes ``nbytes_per_rank``; all end with everything."""
     p = len(ranks)
     if p <= 1:
         return CollectiveTiming("allgather", "ring", nbytes_per_rank, p, 0.0, coster.mode)
 
-    steps = RingSchedule.uniform(ranks, nbytes_per_rank, buffer_ids)
+    steps = RingSchedule.uniform(ranks, nbytes_per_rank, buffer_ids, dtype_bytes)
     total = coster.run_steps(steps)
     return CollectiveTiming(
         "allgather", "ring", nbytes_per_rank, p, total, coster.mode,

@@ -22,6 +22,7 @@ from repro.comm.cost import (  # noqa: F401 - re-exported for legacy callers
     allreduce_lower_bound,
     ring_step_count,
 )
+from repro.comm.cost import FLOAT32_BYTES
 from repro.errors import MpiError
 from repro.mpi.collectives.base import (
     CollectiveTiming,
@@ -72,7 +73,10 @@ def select_allreduce_algorithm(
 
 
 def _ring_steps(
-    ranks: list[int], nbytes: int, buffer_ids: dict[int, int] | None
+    ranks: list[int],
+    nbytes: int,
+    buffer_ids: dict[int, int] | None,
+    dtype_bytes: int = FLOAT32_BYTES,
 ) -> tuple[RingSchedule, RingSchedule]:
     """Chunked-ring schedules: (reduce-scatter steps, allgather steps).
 
@@ -80,12 +84,15 @@ def _ring_steps(
     differs at run time), so they share one lazily-materialized
     :class:`RingSchedule`.
     """
-    sched = RingSchedule.chunked(ranks, nbytes, buffer_ids)
+    sched = RingSchedule.chunked(ranks, nbytes, buffer_ids, dtype_bytes)
     return sched, sched
 
 
 def _recursive_doubling_steps(
-    ranks: list[int], nbytes: int, buffer_ids: dict[int, int] | None
+    ranks: list[int],
+    nbytes: int,
+    buffer_ids: dict[int, int] | None,
+    dtype_bytes: int = FLOAT32_BYTES,
 ) -> list[list[PairTransfer]]:
     p = len(ranks)
     if not is_power_of_two(p):
@@ -101,7 +108,8 @@ def _recursive_doubling_steps(
         for i, rank in enumerate(ranks):
             peer = ranks[i ^ distance]
             transfers.append(
-                PairTransfer(rank, peer, nbytes, bid(rank), bid(peer))
+                PairTransfer(rank, peer, nbytes, bid(rank), bid(peer),
+                             dtype_bytes=dtype_bytes)
             )
         steps.append(transfers)
         distance *= 2
@@ -109,7 +117,10 @@ def _recursive_doubling_steps(
 
 
 def _halving_doubling_steps(
-    ranks: list[int], nbytes: int, buffer_ids: dict[int, int] | None
+    ranks: list[int],
+    nbytes: int,
+    buffer_ids: dict[int, int] | None,
+    dtype_bytes: int = FLOAT32_BYTES,
 ) -> tuple[list[list[PairTransfer]], list[list[PairTransfer]]]:
     """Rabenseifner: recursive-halving reduce-scatter + recursive-doubling
     allgather."""
@@ -127,7 +138,8 @@ def _halving_doubling_steps(
         transfers = []
         for i, rank in enumerate(ranks):
             peer = ranks[i ^ distance]
-            transfers.append(PairTransfer(rank, peer, max(size, 1), bid(rank), bid(peer)))
+            transfers.append(PairTransfer(rank, peer, max(size, 1), bid(rank), bid(peer),
+                                          dtype_bytes=dtype_bytes))
         rs_steps.append(transfers)
         distance //= 2
         size //= 2
@@ -138,7 +150,8 @@ def _halving_doubling_steps(
         transfers = []
         for i, rank in enumerate(ranks):
             peer = ranks[i ^ distance]
-            transfers.append(PairTransfer(rank, peer, max(size, 1), bid(rank), bid(peer)))
+            transfers.append(PairTransfer(rank, peer, max(size, 1), bid(rank), bid(peer),
+                                          dtype_bytes=dtype_bytes))
         ag_steps.append(transfers)
         distance *= 2
         size *= 2
@@ -146,7 +159,10 @@ def _halving_doubling_steps(
 
 
 def _binomial_reduce_steps(
-    group: list[int], nbytes: int, buffer_ids: dict[int, int] | None
+    group: list[int],
+    nbytes: int,
+    buffer_ids: dict[int, int] | None,
+    dtype_bytes: int = FLOAT32_BYTES,
 ) -> list[list[PairTransfer]]:
     """Binomial-tree reduce onto group[0]."""
     def bid(rank: int) -> int | None:
@@ -161,7 +177,9 @@ def _binomial_reduce_steps(
             j = i + distance
             if j < g:
                 transfers.append(
-                    PairTransfer(group[j], group[i], nbytes, bid(group[j]), bid(group[i]))
+                    PairTransfer(group[j], group[i], nbytes,
+                                 bid(group[j]), bid(group[i]),
+                                 dtype_bytes=dtype_bytes)
                 )
         steps.append(transfers)
         distance *= 2
@@ -169,17 +187,28 @@ def _binomial_reduce_steps(
 
 
 def _binomial_bcast_steps(
-    group: list[int], nbytes: int, buffer_ids: dict[int, int] | None
+    group: list[int],
+    nbytes: int,
+    buffer_ids: dict[int, int] | None,
+    dtype_bytes: int = FLOAT32_BYTES,
 ) -> list[list[PairTransfer]]:
     """Binomial-tree broadcast from group[0] (reverse of the reduce)."""
     return [
-        [PairTransfer(t.dst, t.src, t.nbytes, t.dst_buffer, t.src_buffer) for t in step]
-        for step in reversed(_binomial_reduce_steps(group, nbytes, buffer_ids))
+        [
+            PairTransfer(t.dst, t.src, t.nbytes, t.dst_buffer, t.src_buffer,
+                         dtype_bytes=t.dtype_bytes)
+            for t in step
+        ]
+        for step in reversed(
+            _binomial_reduce_steps(group, nbytes, buffer_ids, dtype_bytes))
     ]
 
 
 def _hierarchical_intra_steps(
-    groups: list[list[int]], nbytes: int, buffer_ids: dict[int, int] | None
+    groups: list[list[int]],
+    nbytes: int,
+    buffer_ids: dict[int, int] | None,
+    dtype_bytes: int = FLOAT32_BYTES,
 ) -> tuple[list[list[PairTransfer]], list[list[PairTransfer]]]:
     """Merged intra-node (reduce, bcast) schedules for all node groups.
 
@@ -187,8 +216,12 @@ def _hierarchical_intra_steps(
     schedules merge step-by-step.  Each group's schedule is built once and
     indexed per depth (the depth loop used to rebuild it quadratically).
     """
-    reduce_per_group = [_binomial_reduce_steps(g, nbytes, buffer_ids) for g in groups]
-    bcast_per_group = [_binomial_bcast_steps(g, nbytes, buffer_ids) for g in groups]
+    reduce_per_group = [
+        _binomial_reduce_steps(g, nbytes, buffer_ids, dtype_bytes) for g in groups
+    ]
+    bcast_per_group = [
+        _binomial_bcast_steps(g, nbytes, buffer_ids, dtype_bytes) for g in groups
+    ]
 
     def merge(per_group: list[list[list[PairTransfer]]]) -> list[list[PairTransfer]]:
         merged_steps = []
@@ -211,6 +244,7 @@ def allreduce_timing(
     *,
     buffer_ids: dict[int, int] | None = None,
     algorithm: str | None = None,
+    dtype_bytes: int = FLOAT32_BYTES,
 ) -> CollectiveTiming:
     """Time one allreduce over ``ranks`` in the coster's execution mode."""
     p = len(ranks)
@@ -228,29 +262,31 @@ def allreduce_timing(
     bid_key = _bids_key(buffer_ids)
     if algorithm == "ring":
         rs, ag = _memoized(
-            ("ring", rank_key, nbytes, bid_key),
-            lambda: _ring_steps(ranks, nbytes, buffer_ids),
+            ("ring", rank_key, nbytes, bid_key, dtype_bytes),
+            lambda: _ring_steps(ranks, nbytes, buffer_ids, dtype_bytes),
         )
         segments["reduce_scatter"] = coster.run_steps(rs, reduce_after=True)
         segments["allgather"] = coster.run_steps(ag, reduce_after=False)
     elif algorithm == "recursive_doubling":
         if not is_power_of_two(p):
             return allreduce_timing(
-                coster, ranks, nbytes, buffer_ids=buffer_ids, algorithm="ring"
+                coster, ranks, nbytes, buffer_ids=buffer_ids, algorithm="ring",
+                dtype_bytes=dtype_bytes,
             )
         steps = _memoized(
-            ("rd", rank_key, nbytes, bid_key),
-            lambda: _recursive_doubling_steps(ranks, nbytes, buffer_ids),
+            ("rd", rank_key, nbytes, bid_key, dtype_bytes),
+            lambda: _recursive_doubling_steps(ranks, nbytes, buffer_ids, dtype_bytes),
         )
         segments["exchange"] = coster.run_steps(steps, reduce_after=True)
     elif algorithm == "reduce_scatter_allgather":
         if not is_power_of_two(p):
             return allreduce_timing(
-                coster, ranks, nbytes, buffer_ids=buffer_ids, algorithm="ring"
+                coster, ranks, nbytes, buffer_ids=buffer_ids, algorithm="ring",
+                dtype_bytes=dtype_bytes,
             )
         rs, ag = _memoized(
-            ("rsag", rank_key, nbytes, bid_key),
-            lambda: _halving_doubling_steps(ranks, nbytes, buffer_ids),
+            ("rsag", rank_key, nbytes, bid_key, dtype_bytes),
+            lambda: _halving_doubling_steps(ranks, nbytes, buffer_ids, dtype_bytes),
         )
         segments["reduce_scatter"] = coster.run_steps(rs, reduce_after=True)
         segments["allgather"] = coster.run_steps(ag, reduce_after=False)
@@ -262,14 +298,14 @@ def allreduce_timing(
         group_key = tuple(tuple(g) for g in groups)
         leaders = [g[0] for g in groups]
         intra_reduce, intra_bcast = _memoized(
-            ("hier-intra", group_key, nbytes, bid_key),
-            lambda: _hierarchical_intra_steps(groups, nbytes, buffer_ids),
+            ("hier-intra", group_key, nbytes, bid_key, dtype_bytes),
+            lambda: _hierarchical_intra_steps(groups, nbytes, buffer_ids, dtype_bytes),
         )
         segments["intra_reduce"] = coster.run_steps(intra_reduce, reduce_after=True)
         if len(leaders) > 1:
             rs, ag = _memoized(
-                ("ring", tuple(leaders), nbytes, bid_key),
-                lambda: _ring_steps(leaders, nbytes, buffer_ids),
+                ("ring", tuple(leaders), nbytes, bid_key, dtype_bytes),
+                lambda: _ring_steps(leaders, nbytes, buffer_ids, dtype_bytes),
             )
             segments["inter_reduce_scatter"] = coster.run_steps(rs, reduce_after=True)
             segments["inter_allgather"] = coster.run_steps(ag, reduce_after=False)

@@ -6,6 +6,7 @@ import enum
 import math
 from dataclasses import dataclass, field
 
+from repro.comm.cost import FLOAT32_BYTES, reduce_time
 from repro.cuda.kernels import KernelCostModel
 from repro.errors import MpiError
 from repro.mpi.transports import TransportKind, TransportModel
@@ -44,6 +45,10 @@ class PairTransfer:
     ``buffer_extent`` is the full size of the communication buffer this
     transfer's chunk belongs to: IB registration pins the whole buffer
     once per MPI call, not each chunk.
+
+    ``dtype_bytes`` is the wire element width; reduction kernels process
+    ``nbytes / dtype_bytes`` elements, so compressed (2-byte) payloads
+    reduce twice as many elements per byte as fp32.
     """
 
     src: int
@@ -52,6 +57,7 @@ class PairTransfer:
     src_buffer: int | None = None
     dst_buffer: int | None = None
     buffer_extent: int | None = None
+    dtype_bytes: int = FLOAT32_BYTES
 
 
 class RingSchedule:
@@ -81,6 +87,7 @@ class RingSchedule:
         "rem",
         "extent",
         "buffer_ids",
+        "dtype_bytes",
         "_small",
         "_big",
         "_steps",
@@ -95,6 +102,7 @@ class RingSchedule:
         rem: int,
         extent: int | None,
         buffer_ids: dict[int, int] | None,
+        dtype_bytes: int = FLOAT32_BYTES,
     ):
         self.ranks = list(ranks)
         self.chunk_small = int(chunk_small)
@@ -102,13 +110,18 @@ class RingSchedule:
         self.rem = int(rem)
         self.extent = extent
         self.buffer_ids = buffer_ids
+        self.dtype_bytes = int(dtype_bytes)
         self._small: list[PairTransfer] | None = None
         self._big: list[PairTransfer] | None = None
         self._steps: list[list[PairTransfer]] | None = None
 
     @classmethod
     def chunked(
-        cls, ranks: list[int], nbytes: int, buffer_ids: dict[int, int] | None
+        cls,
+        ranks: list[int],
+        nbytes: int,
+        buffer_ids: dict[int, int] | None,
+        dtype_bytes: int = FLOAT32_BYTES,
     ) -> "RingSchedule":
         """Chunked allreduce ring: ``nbytes`` split near-equally over p."""
         base, rem = divmod(int(nbytes), max(len(ranks), 1))
@@ -119,11 +132,16 @@ class RingSchedule:
             rem=rem,
             extent=int(nbytes),
             buffer_ids=buffer_ids,
+            dtype_bytes=dtype_bytes,
         )
 
     @classmethod
     def uniform(
-        cls, ranks: list[int], nbytes: int, buffer_ids: dict[int, int] | None
+        cls,
+        ranks: list[int],
+        nbytes: int,
+        buffer_ids: dict[int, int] | None,
+        dtype_bytes: int = FLOAT32_BYTES,
     ) -> "RingSchedule":
         """Allgather ring: every transfer carries the same ``nbytes``."""
         return cls(
@@ -133,6 +151,7 @@ class RingSchedule:
             rem=0,
             extent=None,
             buffer_ids=buffer_ids,
+            dtype_bytes=dtype_bytes,
         )
 
     def __len__(self) -> int:
@@ -156,6 +175,7 @@ class RingSchedule:
                         src_buffer=self._bid(rank),
                         dst_buffer=self._bid(ranks[(i + 1) % p]),
                         buffer_extent=self.extent,
+                        dtype_bytes=self.dtype_bytes,
                     )
                     for i, rank in enumerate(ranks)
                 ]
@@ -204,18 +224,20 @@ class StepCoster:
         self.fastpath = None
 
     # -- reduction compute costs ------------------------------------------------
-    def gpu_reduce_time(self, nbytes: int) -> float:
-        return self.kernel_model.device_reduce_time(nbytes)
+    def gpu_reduce_time(self, nbytes: int, dtype_bytes: int = FLOAT32_BYTES) -> float:
+        return self.kernel_model.device_reduce_time(nbytes, dtype_bytes)
 
-    def host_reduce_time(self, nbytes: int, dtype_size: int = 4) -> float:
-        return (nbytes / dtype_size) / self.cpu.reduce_flops
+    def host_reduce_time(self, nbytes: int, dtype_bytes: int = FLOAT32_BYTES) -> float:
+        return reduce_time(nbytes, dtype_bytes, reduce_flops=self.cpu.reduce_flops)
 
-    def reduce_time_for(self, kind: TransportKind, nbytes: int) -> float:
+    def reduce_time_for(
+        self, kind: TransportKind, nbytes: int, dtype_bytes: int = FLOAT32_BYTES
+    ) -> float:
         """Reduction executes where the data landed: host for staged paths."""
         if kind in (TransportKind.HOST_STAGED, TransportKind.SMP_EAGER,
                     TransportKind.STAGED_INTER):
-            return self.host_reduce_time(nbytes)
-        return self.gpu_reduce_time(nbytes)
+            return self.host_reduce_time(nbytes, dtype_bytes)
+        return self.gpu_reduce_time(nbytes, dtype_bytes)
 
     # -- step timing ---------------------------------------------------------------
     def step_time_analytic(
@@ -235,7 +257,7 @@ class StepCoster:
             )
             total = bd.total
             if reduce_after:
-                total += self.reduce_time_for(bd.kind, t.nbytes)
+                total += self.reduce_time_for(bd.kind, t.nbytes, t.dtype_bytes)
             if bd.kind in (
                 TransportKind.HOST_STAGED,
                 TransportKind.SMP_EAGER,
@@ -264,7 +286,8 @@ class StepCoster:
                 )
             )
             if reduce_after:
-                yield env.timeout(self.reduce_time_for(kind, t.nbytes))
+                yield env.timeout(
+                    self.reduce_time_for(kind, t.nbytes, t.dtype_bytes))
 
         procs = [env.process(one(t)) for t in transfers]
         if procs:

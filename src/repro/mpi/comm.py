@@ -251,6 +251,7 @@ class Communicator:
             nbytes,
             buffer_ids=self._buffer_ids(buffers),
             algorithm=algorithm,
+            dtype_bytes=buffers[0].dtype.size,
         )
         self._notify(timing)
         return timing
@@ -287,6 +288,7 @@ class Communicator:
             self.ranks,
             nbytes,
             buffer_ids=self._buffer_ids(buffers),
+            dtype_bytes=buffers[0].dtype.size,
         )
         self._notify(timing)
         return gathered, timing

@@ -235,6 +235,36 @@ class NcclCommunicator:
                 return tree, "nccl-tree"
         return ring, "nccl-ring"
 
+    def _allgather_time(self, nbytes_per_rank: int) -> float:
+        """Ring allgather: each rank's block circulates p-1 hops.
+
+        Same envelope family as the ring allreduce, with a single
+        bandwidth sweep (``n(p-1)/B`` per rank) and no reduction term —
+        sparse gradient payloads use this path.
+        """
+        p = len(self.ranks)
+        proto = self.world.protocol
+        if p <= 1 or nbytes_per_rank == 0:
+            return 0.0
+        faults = self.world.faults
+        bw = ring_bandwidth(
+            self.world.cluster, self.ranks, proto, faults=faults, now=self._now()
+        )
+        hop = ring_hop_latency(
+            self.world.cluster, self.ranks, proto, faults=faults, now=self._now()
+        )
+        steps = p - 1
+        fill = (
+            min(nbytes_per_rank, proto.chunk_bytes) / bw
+            if bw != float("inf")
+            else 0.0
+        )
+        return (
+            steps * (hop + fill)
+            + nbytes_per_rank * (p - 1) / bw
+            + self._message_delay(nbytes_per_rank)
+        )
+
     def _bcast_time(self, nbytes: int) -> float:
         p = len(self.ranks)
         proto = self.world.protocol
@@ -287,6 +317,24 @@ class NcclCommunicator:
         )
         self._notify(timing)
         return timing
+
+    def allgather(self, buffers: Sequence[GpuBuffer]):
+        """Gather every rank's data to all ranks (ring envelope)."""
+        nbytes = self._validate(buffers)
+        datas = [b.data for b in buffers]
+        gathered = None
+        if all(d is not None for d in datas):
+            gathered = [d.copy() for d in datas]
+        timing = CollectiveTiming(
+            "allgather",
+            "nccl-ring",
+            nbytes,
+            self.size,
+            self._allgather_time(nbytes),
+            ExecutionMode.ANALYTIC,
+        )
+        self._notify(timing)
+        return gathered, timing
 
     def bcast(
         self, buffers: Sequence[GpuBuffer], *, root_index: int = 0

@@ -79,3 +79,68 @@ class SteadyStateDetector:
         if all(s == tail[0] for s in tail):
             return tail[0]
         return sum(tail) / len(tail)
+
+
+class PeriodicSteadyState:
+    """Steady-state detection for an H-periodic step-time signal.
+
+    Local-SGD runs sync every H steps, so the per-step time is not constant
+    — it cycles through H phases (H-1 cheap local steps, one step carrying
+    the parameter-sync collective).  A plain window detector would see the
+    spread between phases and never converge.  This wrapper folds each full
+    period into its sum, feeds the sums to an inner
+    :class:`SteadyStateDetector`, and remembers the last observed value per
+    phase so extrapolation can replay the H-step cadence exactly.
+
+    The leading partial period (samples arriving before the first phase-0
+    step) is ignored; convergence is only declared on period boundaries so
+    an extrapolation always starts phase-aligned.
+    """
+
+    def __init__(self, period: int, window: int = 3, rel_tol: float = 1e-9):
+        if period < 1:
+            raise ConfigError(f"period must be >= 1, got {period}")
+        self.period = period
+        self._inner = SteadyStateDetector(window, rel_tol)
+        self._accum: list[float] = []
+        self._started = False
+        self._last: dict[int, float] = {}
+
+    def observe(self, sample: float, phase: int) -> None:
+        self._last[phase % self.period] = sample
+        if not self._started:
+            if phase % self.period != 0:
+                return
+            self._started = True
+        self._accum.append(sample)
+        if len(self._accum) == self.period:
+            self._inner.observe(sum(self._accum))
+            self._accum.clear()
+
+    def rearm(self) -> None:
+        """Forget everything after a world perturbation (see
+        :meth:`SteadyStateDetector.rearm`); detection restarts at the next
+        phase-0 step."""
+        self._inner.rearm()
+        self._accum.clear()
+        self._started = False
+        self._last.clear()
+
+    def converged(self) -> bool:
+        """True only on a period boundary with the period sums converged."""
+        return self._started and not self._accum and self._inner.converged()
+
+    def phase_value(self, phase: int) -> float:
+        """The converged value for one phase (stepwise extrapolation)."""
+        if not self.converged():
+            raise ConfigError("cannot extrapolate before convergence")
+        return self._last[phase % self.period]
+
+    def extrapolate(self, next_phase: int, count: int) -> list[float]:
+        """Per-step values for ``count`` extrapolated steps starting at
+        phase ``next_phase``, cycling the last observed value per phase."""
+        if not self.converged():
+            raise ConfigError("cannot extrapolate before convergence")
+        return [
+            self._last[(next_phase + j) % self.period] for j in range(count)
+        ]

@@ -244,7 +244,7 @@ class FastPathSession:
         tr = self.transport
         kind = bd.kind
         entry = TransferEntry(self.clock.value, now, kind, t.nbytes)
-        reduce_s = coster.reduce_time_for(kind, t.nbytes)
+        reduce_s = coster.reduce_time_for(kind, t.nbytes, t.dtype_bytes)
         entry.t_plain = bd.total
         entry.t_reduce = bd.total + reduce_s
 
@@ -404,6 +404,7 @@ class FastPathSession:
                 t.src_buffer,
                 t.dst_buffer,
                 t.buffer_extent,
+                t.dtype_bytes,
             )
             entry = memo.get(key)
             if (
@@ -443,7 +444,7 @@ class FastPathSession:
                 kind = bd.kind
                 total = bd.total
                 if reduce_after:
-                    total += coster.reduce_time_for(kind, t.nbytes)
+                    total += coster.reduce_time_for(kind, t.nbytes, t.dtype_bytes)
                 self.exact_transfers += 1
                 if clock.value == before:
                     if len(memo) >= self.MAX_ENTRIES:
@@ -489,6 +490,7 @@ class FastPathSession:
         dst_buffer: int | None,
         buffer_extent: int | None,
         now: float | None,
+        dtype_bytes: int,
     ) -> TransferEntry | None:
         """Build a memo entry *without* running the transfer, from warm state.
 
@@ -509,7 +511,7 @@ class FastPathSession:
         a = tr.ranks[src]
         b = tr.ranks[dst]
         extent = buffer_extent if buffer_extent is not None else nbytes
-        reduce_s = coster.reduce_time_for(kind, nbytes)
+        reduce_s = coster.reduce_time_for(kind, nbytes, dtype_bytes)
 
         if kind is K.SELF:
             entry.t_plain = 0.0
@@ -638,6 +640,7 @@ class FastPathSession:
         p = len(ranks)
         extent = sched.extent
         bids = sched.buffer_ids
+        dtype_bytes = sched.dtype_bytes
         memo = self.memo
         clock_value = self.clock.value
         out = []
@@ -646,10 +649,11 @@ class FastPathSession:
             dst = ranks[(i + 1) % p]
             sbuf = bids.get(src) if bids else None
             dbuf = bids.get(dst) if bids else None
-            key = (src, dst, chunk, sbuf, dbuf, extent)
+            key = (src, dst, chunk, sbuf, dbuf, extent, dtype_bytes)
             entry = memo.get(key)
             if entry is None or entry.clock != clock_value or entry.now != now:
-                entry = self._synth(coster, src, dst, chunk, sbuf, dbuf, extent, now)
+                entry = self._synth(coster, src, dst, chunk, sbuf, dbuf, extent,
+                                    now, dtype_bytes)
                 if entry is None:
                     return None
                 if len(memo) >= self.MAX_ENTRIES:
@@ -701,9 +705,13 @@ class FastPathSession:
                     return None
             if e_s.flavor == _F_STAGED or e_s.flavor == _F_RNDV_STAGED:
                 staged_pairs.append(i)
-        if staged_pairs and not nodes_distinct:
-            # staged transfers sharing a node serialize in engine waves;
-            # only the one-rank-per-node layout collapses to a plain max
+        shared_staging = staged_pairs and not nodes_distinct
+        if shared_staging and rem:
+            # staged transfers sharing a node serialize in engine waves,
+            # and the rotating big/small chunk classes reshuffle each
+            # step's wave membership — only the uniform ring (allgather:
+            # rem == 0, identical transfer set every step) has a
+            # step-invariant wave structure the closed form can price
             return None
 
         n_rem = (p - 1) - s0
@@ -725,6 +733,27 @@ class FastPathSession:
                 axis=1
             ).tolist()
             cnt_big = is_big.sum(axis=0).tolist()
+        elif shared_staging:
+            # uniform ring with node-shared staging: reproduce the exact
+            # walk's contention model (per-src-node engine waves) once —
+            # every collapsed step prices identically
+            engines = tr.cluster.spec.node.staging_engines
+            staged_set = set(staged_pairs)
+            by_node: dict[int, list[float]] = {}
+            other_max = 0.0
+            for i in range(p):
+                t = float(t_small[i])
+                if i in staged_set:
+                    by_node.setdefault(
+                        tr.ranks[ranks[i]].node_id, []).append(t)
+                else:
+                    other_max = max(other_max, t)
+            staged_max = 0.0
+            for times in by_node.values():
+                waves = math.ceil(len(times) / engines)
+                staged_max = max(staged_max, waves * max(times))
+            makespans = [max(other_max, staged_max)] * n_rem
+            cnt_big = [0] * p
         else:
             makespans = [float(t_small.max())] * n_rem
             cnt_big = [0] * p

@@ -84,8 +84,16 @@ class DistributedTrainer:
         detect_timeout_s: float = 0.05,
         recovery: RecoveryPolicy | None = None,
         checkpoints: CheckpointManager | None = None,
+        local_sgd_h: int = 1,
     ):
         self.engine = engine
+        if local_sgd_h < 1:
+            raise ConfigError(
+                f"local_sgd_h must be >= 1, got {local_sgd_h}"
+            )
+        # H == 1 is synchronous SGD (gradient allreduce every step); H > 1
+        # runs H-1 purely local updates between parameter-averaging syncs
+        self.local_sgd_h = local_sgd_h
         num_ranks = engine.num_ranks
         if num_ranks < 1:
             raise ConfigError("world must have at least one rank")
@@ -173,13 +181,23 @@ class DistributedTrainer:
                     self.faults.compute_factor(rank, now, step)
                     for rank in self.dist_opt.ranks
                 )
-            timing = self.dist_opt.step(backward_time=backward)
+            if self.local_sgd_h > 1:
+                # local-SGD inner step: no gradient exchange; the sync
+                # collective lands only on every H-th step boundary
+                self.dist_opt.step_local()
+                step_time = step_overhead + backward / 2 + backward
+                if (step + 1) % self.local_sgd_h == 0:
+                    sync = self.dist_opt.sync_parameters()
+                    step_time += sync.comm_finish
+            else:
+                timing = self.dist_opt.step(backward_time=backward)
+                step_time = (
+                    step_overhead
+                    + backward / 2  # nominal forward
+                    + max(backward, timing.comm_finish)
+                )
             result.losses.append(float(np.mean(losses)))
-            result.simulated_step_times.append(
-                step_overhead
-                + backward / 2  # nominal forward
-                + max(backward, timing.comm_finish)
-            )
+            result.simulated_step_times.append(step_time)
             result.steps += 1
             result.world_sizes.append(len(self.dist_opt.ranks))
             result.total_images += self.batch_per_rank * len(self.dist_opt.ranks)
@@ -321,8 +339,17 @@ class DistributedTrainer:
                     worst = max(worst, factor)
                 # synchronous data parallelism waits for the slowest rank
                 backward *= worst
-            timing = self.dist_opt.step(backward_time=backward)
-            step_time = backward / 2 + max(backward, timing.comm_finish)
+            if self.local_sgd_h > 1:
+                # cadence keys on the *replayed* step index, so a
+                # checkpoint-restart rewind re-syncs at the same boundaries
+                self.dist_opt.step_local()
+                step_time = backward / 2 + backward
+                if (step + 1) % self.local_sgd_h == 0:
+                    sync = self.dist_opt.sync_parameters()
+                    step_time += sync.comm_finish
+            else:
+                timing = self.dist_opt.step(backward_time=backward)
+                step_time = backward / 2 + max(backward, timing.comm_finish)
             result.losses.append(float(np.mean(losses)))
             result.simulated_step_times.append(step_time)
             result.world_sizes.append(len(self.dist_opt.ranks))

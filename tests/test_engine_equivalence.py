@@ -93,6 +93,70 @@ class TestFaultyEquivalence:
         assert_points_identical(exact, fast)
 
 
+class TestCompressionEquivalence:
+    """Compressed and local-SGD runs keep the fast/exact contract."""
+
+    @pytest.mark.parametrize("compression", ["fp16", "bf16", "topk:0.01"])
+    def test_compressed_point_bit_identity(self, compression):
+        exact = run_point("MPI-Opt", 8, "exact", compression=compression)
+        fast = run_point("MPI-Opt", 8, "fast", compression=compression)
+        assert_points_identical(exact, fast)
+
+    def test_local_sgd_point_bit_identity(self):
+        kw = dict(local_sgd_h=4, warmup_steps=1, measure_steps=8)
+        exact = run_point("MPI-Opt", 8, "exact", **kw)
+        fast = run_point("MPI-Opt", 8, "fast", **kw)
+        assert fast.extrapolated_steps == exact.extrapolated_steps
+        assert_points_identical(exact, fast)
+
+    def test_compressed_faulty_bit_identity(self):
+        plan = FaultPlan(seed=11, faults=[RankFailure(rank=3, time=2.0)])
+        policy = RecoveryPolicy(
+            restart=True, checkpoint=CheckpointPolicy(interval_steps=3))
+        kw = dict(fault_plan=plan, recovery=policy,
+                  warmup_steps=1, measure_steps=8, compression="fp16")
+        exact = run_point("MPI-Opt", 8, "exact", **kw)
+        fast = run_point("MPI-Opt", 8, "fast", **kw)
+        assert exact.resilience is not None
+        assert_points_identical(exact, fast)
+
+    def test_sparse_faulty_bit_identity(self):
+        plan = FaultPlan(seed=11, faults=[RankFailure(rank=3, time=2.0)])
+        policy = RecoveryPolicy(
+            restart=True, checkpoint=CheckpointPolicy(interval_steps=3))
+        kw = dict(fault_plan=plan, recovery=policy,
+                  warmup_steps=1, measure_steps=8, compression="topk:0.01")
+        exact = run_point("MPI-Opt", 8, "exact", **kw)
+        fast = run_point("MPI-Opt", 8, "fast", **kw)
+        assert_points_identical(exact, fast)
+
+    def test_local_sgd_faulty_bit_identity(self):
+        """The fastpath must see the H-step cadence: sync collectives only
+        fire on period boundaries, and the replay clock must agree."""
+        plan = FaultPlan(seed=11, faults=[RankFailure(rank=3, time=2.0)])
+        policy = RecoveryPolicy(
+            restart=True, checkpoint=CheckpointPolicy(interval_steps=3))
+        kw = dict(fault_plan=plan, recovery=policy,
+                  warmup_steps=1, measure_steps=9, local_sgd_h=3)
+        exact = run_point("MPI-Opt", 8, "exact", **kw)
+        fast = run_point("MPI-Opt", 8, "fast", **kw)
+        assert_points_identical(exact, fast)
+
+    def test_digest_separates_compression_configs(self):
+        digests = {
+            ScalingStudy(scenario_by_name("MPI-Opt"),
+                         StudyConfig(**kw)).point_digest(16)
+            for kw in (
+                {},
+                {"compression": "fp16"},
+                {"compression": "topk:0.01"},
+                {"compression": "topk:0.05"},
+                {"local_sgd_h": 2},
+            )
+        }
+        assert len(digests) == 5
+
+
 class TestServeEquivalence:
     @pytest.mark.parametrize("policy", ["rr", "jsq"])
     def test_report_bit_identity(self, policy):

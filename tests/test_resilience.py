@@ -357,6 +357,56 @@ class TestTrainerRecovery:
         trainer.engine.shrink_to([0, 1, 2])
         assert len(_SCHEDULE_CACHE) == 0
 
+    def test_regrow_resets_topk_residuals(self):
+        """A re-admitted rank's top-k error-feedback residuals start from
+        zero: stale feedback from the rank's previous life would inject
+        gradient mass from a replica that no longer exists.  Survivors
+        keep their accumulated residuals across the ring reform."""
+        from repro.compression import CompressionConfig
+        from repro.horovod.optimizer import DistributedOptimizer
+
+        cluster = Cluster(Environment(), LASSEN, num_nodes=1)
+        spec = WorldSpec(num_ranks=4, policy=SingletonDevicePolicy(),
+                         config=Mv2Config(mv2_visible_devices="all"))
+        world = MpiWorld(cluster, spec)
+        engine = HorovodEngine(
+            world.communicator(), HorovodConfig(cycle_time_s=2e-3),
+            compression=CompressionConfig.parse("topk:0.25"),
+        )
+        models = [tiny_model(seed=r) for r in range(4)]
+        opts = [SGD(m.parameters(), lr=0.1) for m in models]
+        dist = DistributedOptimizer(opts, models, engine)
+
+        def run_one_step():
+            rng = np.random.default_rng(13)
+            for m in dist.models:
+                for p in m.parameters():
+                    p.grad = rng.normal(size=p.data.shape).astype(np.float32)
+            dist.step()
+
+        run_one_step()
+        assert any(key[0] == 1 for key in engine._topk_residuals)
+        survivor_keys = {k for k in engine._topk_residuals if k[0] == 0}
+        poison = {
+            k: v.copy() + 123.0
+            for k, v in engine._topk_residuals.items() if k[0] == 1
+        }
+
+        dist.drop_rank(1)
+        assert not any(key[0] == 1 for key in engine._topk_residuals)
+        # survivors keep their accumulated feedback across the reform
+        assert survivor_keys <= set(engine._topk_residuals)
+
+        # simulate stale state sneaking back in before the re-admit
+        engine._topk_residuals.update(poison)
+        fresh = tiny_model(seed=9)
+        dist.add_rank(1, fresh, SGD(fresh.parameters(), lr=0.1))
+        assert not any(key[0] == 1 for key in engine._topk_residuals)
+
+        run_one_step()
+        for key, stale in poison.items():
+            assert not np.array_equal(engine._topk_residuals[key], stale)
+
 
 class TestStudyRecovery:
     SCEN = "MPI-Opt"
