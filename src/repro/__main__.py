@@ -385,6 +385,71 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the invariant-checked chaos campaign."""
+    import json
+
+    from repro.chaos import (
+        POLICY_NAMES,
+        SCENARIOS as CHAOS_SCENARIOS,
+        CampaignConfig,
+        run_campaign,
+    )
+
+    scenarios = (
+        tuple(sorted(CHAOS_SCENARIOS))
+        if args.scenarios == "all"
+        else tuple(args.scenarios.split(","))
+    )
+    policies = (
+        POLICY_NAMES if args.policies == "all"
+        else tuple(args.policies.split(","))
+    )
+    config = CampaignConfig(
+        scenarios=scenarios,
+        policies=policies,
+        seeds=args.seeds,
+        num_gpus=args.gpus,
+        measure_steps=args.steps,
+        serve_duration_s=args.duration,
+    )
+    cache = _make_cache(args)
+    report = run_campaign(config, jobs=args.jobs, cache=cache)
+    cells = len(report.rows)
+    print(
+        f"== chaos campaign: {len(scenarios)} scenario(s) x "
+        f"{len(policies)} polic(ies) x {args.seeds} seed(s) = "
+        f"{cells} cell(s), {args.gpus} GPUs =="
+    )
+    for line in report.lines():
+        print(line)
+    if cache.enabled:
+        stats = cache.stats()
+        print(
+            f"result cache: {stats['hits']} hit(s), "
+            f"{stats['misses']} miss(es) ({cache.directory})"
+        )
+    print(f"campaign digest: {report.digest}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report.to_payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"campaign report written to {args.report}")
+    failures = report.failures()
+    if failures:
+        for f in failures:
+            print(
+                f"INVARIANT FAILED: {f['invariant']} at "
+                f"({f['scenario']}, {f['policy']}, seed {f['seed']}): "
+                f"{f['detail']}",
+                file=sys.stderr,
+            )
+        return 1
+    checked = sum(len(row["invariants"]) for row in report.rows)
+    print(f"all {checked} invariant check(s) green")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
@@ -513,6 +578,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the JSON serving report to this path")
     _add_engine_mode(serve)
     serve.set_defaults(func=cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the invariant-checked chaos campaign "
+             "(scenario x policy x seed)",
+    )
+    chaos.add_argument("--scenarios", default="all",
+                       help="comma-separated chaos scenarios, or 'all' "
+                            "(node-failure, switch-failure, partition, "
+                            "wire-corruption, ckpt-corruption, "
+                            "serve-failover)")
+    chaos.add_argument("--policies", default="all",
+                       help="comma-separated recovery policies, or 'all' "
+                            "(restart, shrink)")
+    chaos.add_argument("--seeds", type=int, default=3,
+                       help="seeds per (scenario, policy) cell")
+    chaos.add_argument("--gpus", type=int, default=16,
+                       help="world size of the training cells")
+    chaos.add_argument("--steps", type=int, default=40,
+                       help="measured training steps per cell")
+    chaos.add_argument("--duration", type=float, default=60.0,
+                       help="serving cell duration (simulated seconds)")
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for independent cells")
+    chaos.add_argument("--no-cache", action="store_true")
+    chaos.add_argument("--cache-dir", default=None)
+    chaos.add_argument("--report", default=None, metavar="PATH",
+                       help="write the JSON campaign report to this path")
+    chaos.set_defaults(func=cmd_chaos)
 
     comm = sub.add_parser(
         "comm",

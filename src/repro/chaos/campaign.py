@@ -1,0 +1,288 @@
+"""The chaos campaign runner: scenario x policy x seed, invariant-checked.
+
+A campaign is the cross product of named chaos scenarios
+(:mod:`repro.chaos.scenarios`), recovery policies, and seeds.  Every
+training cell runs **twice** — once per engine mode — through the cached
+parallel sweep machinery (:func:`repro.perf.parallel.run_point_jobs`),
+serving cells through :func:`repro.serve.sweep.run_serve_jobs`; cells are
+independent, so a campaign parallelizes exactly like a scaling sweep and
+re-runs hit the content-addressed result cache.
+
+Each cell is then judged against the machine-checked invariants of
+:mod:`repro.chaos.invariants`, and the whole campaign collapses to one
+canonical digest over every cell's full payload and verdicts.  The
+digest is the campaign's reproducibility contract: ``--jobs 1``,
+``--jobs 8``, and a warm-cache re-run must produce the identical digest,
+and any change to fault, recovery, or timing semantics moves it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chaos.invariants import InvariantResult, check_serve_cell, check_train_cell
+from repro.chaos.scenarios import (
+    SCENARIOS,
+    build_plan,
+    scenario_by_name,
+)
+from repro.errors import ConfigError
+from repro.faults.domains import Topology
+
+#: policy vocabulary of a campaign: the two canonical recovery responses
+POLICY_NAMES = ("restart", "shrink")
+
+
+def _policy_for(name: str):
+    from repro.resilience.policy import RESTART_FROM_CHECKPOINT, SHRINK_CONTINUE
+
+    try:
+        return {
+            "restart": RESTART_FROM_CHECKPOINT,
+            "shrink": SHRINK_CONTINUE,
+        }[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown recovery policy {name!r}; "
+            f"choose from {', '.join(POLICY_NAMES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One campaign's cross product and per-cell workload."""
+
+    scenarios: tuple[str, ...] = tuple(sorted(SCENARIOS))
+    policies: tuple[str, ...] = POLICY_NAMES
+    seeds: int = 3
+    num_gpus: int = 16
+    #: registered training scenario the study cells run under
+    train_scenario: str = "MPI-Opt"
+    measure_steps: int = 40
+    serve_duration_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "policies", tuple(self.policies))
+        for s in self.scenarios:
+            scenario_by_name(s)  # raises ConfigError on unknown names
+        for p in self.policies:
+            _policy_for(p)
+        if self.seeds < 1:
+            raise ConfigError(f"seeds must be >= 1, got {self.seeds}")
+        if self.num_gpus < 2:
+            raise ConfigError(
+                f"a chaos campaign needs a multi-rank world, got "
+                f"{self.num_gpus} GPU(s)"
+            )
+
+    def cells(self) -> list[tuple[str, str, int]]:
+        """Deterministic cell order: scenario-major, then policy, then seed."""
+        return [
+            (s, p, seed)
+            for s in self.scenarios
+            for p in self.policies
+            for seed in range(self.seeds)
+        ]
+
+
+@dataclass
+class CampaignReport:
+    """Every cell's payloads and verdicts plus the campaign digest."""
+
+    config: dict
+    rows: list[dict] = field(default_factory=list)
+    digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(
+            inv["ok"] for row in self.rows for inv in row["invariants"]
+        )
+
+    def failures(self) -> list[dict]:
+        """Red cells: (scenario, policy, seed, invariant, detail)."""
+        out = []
+        for row in self.rows:
+            for inv in row["invariants"]:
+                if not inv["ok"]:
+                    out.append(
+                        {
+                            "scenario": row["scenario"],
+                            "policy": row["policy"],
+                            "seed": row["seed"],
+                            "invariant": inv["name"],
+                            "detail": inv["detail"],
+                        }
+                    )
+        return out
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": "chaos-campaign",
+            "config": self.config,
+            "rows": self.rows,
+            "digest": self.digest,
+            "ok": self.ok,
+        }
+
+    def lines(self) -> list[str]:
+        """Human-readable cell table for the CLI."""
+        out = []
+        for row in self.rows:
+            verdict = (
+                "ok"
+                if all(inv["ok"] for inv in row["invariants"])
+                else "FAIL " + ", ".join(
+                    inv["name"] for inv in row["invariants"] if not inv["ok"]
+                )
+            )
+            if row["kind"] == "train":
+                r = row["exact"]["resilience"]
+                stats = (
+                    f"goodput {r['goodput']:.3f}  "
+                    f"world {r['final_world_size']:3d}  "
+                    f"restarts {r['restarts']}"
+                )
+            else:
+                s = row["exact"]["summary"]
+                stats = (
+                    f"goodput {s['goodput_rps']:7.2f} req/s  "
+                    f"shed {s['shed']:4d}  detections {s['detections']}"
+                )
+            out.append(
+                f"{row['scenario']:>16s}  {row['policy']:>7s}  "
+                f"seed {row['seed']}  {stats}  [{verdict}]"
+            )
+        return out
+
+
+def _train_rows(config: CampaignConfig, cells, *, jobs: int, cache):
+    """Run training cells (both engine modes) through the point sweep."""
+    from dataclasses import replace
+
+    from repro.core.study import StudyConfig, point_payload
+    from repro.hardware.specs import LASSEN
+    from repro.perf.parallel import PointJob, active_table_payloads, run_point_jobs
+
+    topology = Topology.from_spec(
+        LASSEN, config.num_gpus // LASSEN.node.gpus_per_node
+    )
+    # zero jitter: steady-state extrapolation keeps cells cheap, and the
+    # fast/exact identity check compares exactly reproducible payloads
+    base = StudyConfig(measure_steps=config.measure_steps, jitter_sigma=0.0)
+    tables = active_table_payloads()
+    point_jobs = []
+    for scenario_name, policy_name, seed in cells:
+        plan = build_plan(scenario_name, seed, topology)
+        policy = _policy_for(policy_name)
+        for mode in ("exact", "fast"):
+            point_jobs.append(
+                PointJob(
+                    config.train_scenario,
+                    config.num_gpus,
+                    replace(base, engine_mode=mode),
+                    fault_plan=plan,
+                    recovery=policy,
+                    comm_tables=tables,
+                )
+            )
+    points = run_point_jobs(point_jobs, workers=jobs, cache=cache)
+    rows = []
+    for i, (scenario_name, policy_name, seed) in enumerate(cells):
+        exact = point_payload(points[2 * i])
+        fast = point_payload(points[2 * i + 1])
+        scenario = scenario_by_name(scenario_name)
+        expected = (
+            scenario.expected_survivors(topology)
+            if scenario.expected_survivors is not None
+            else None
+        )
+        invariants = check_train_cell(exact, fast, expected)
+        rows.append(
+            _row(scenario_name, policy_name, seed, "train", exact, fast, invariants)
+        )
+    return rows
+
+
+def _serve_rows(config: CampaignConfig, cells, *, jobs: int, cache):
+    """Run serving cells (both engine modes) through the serve sweep."""
+    from repro.serve.simulator import ServeScenario
+    from repro.serve.sweep import ServeJob, run_serve_jobs
+
+    serve_jobs = []
+    for scenario_name, policy_name, seed in cells:
+        plan = build_plan(scenario_name, seed, None)
+        policy = _policy_for(policy_name)
+        scenario = ServeScenario(name=f"chaos-{scenario_name}")
+        for mode in ("exact", "fast"):
+            serve_jobs.append(
+                ServeJob(
+                    scenario,
+                    duration_s=config.serve_duration_s,
+                    seed=seed,
+                    fault_plan=plan,
+                    recovery=policy,
+                    engine_mode=mode,
+                )
+            )
+    reports = run_serve_jobs(serve_jobs, workers=jobs, cache=cache)
+    rows = []
+    for i, (scenario_name, policy_name, seed) in enumerate(cells):
+        exact = reports[2 * i].to_payload()
+        fast = reports[2 * i + 1].to_payload()
+        invariants = check_serve_cell(exact, fast)
+        rows.append(
+            _row(scenario_name, policy_name, seed, "serve", exact, fast, invariants)
+        )
+    return rows
+
+
+def _row(
+    scenario: str,
+    policy: str,
+    seed: int,
+    kind: str,
+    exact: dict,
+    fast: dict,
+    invariants: list[InvariantResult],
+) -> dict:
+    return {
+        "scenario": scenario,
+        "policy": policy,
+        "seed": seed,
+        "kind": kind,
+        "exact": exact,
+        "fast": fast,
+        "invariants": [inv.to_payload() for inv in invariants],
+    }
+
+
+def run_campaign(
+    config: CampaignConfig, *, jobs: int = 1, cache=None
+) -> CampaignReport:
+    """Run every cell, judge every invariant, stamp the campaign digest.
+
+    Results merge in :meth:`CampaignConfig.cells` order regardless of
+    worker completion order or cache hits, so the digest is a pure
+    function of the config.
+    """
+    from dataclasses import asdict
+
+    from repro.perf.digest import canonical_digest
+
+    train_cells = [
+        c for c in config.cells() if SCENARIOS[c[0]].kind == "train"
+    ]
+    serve_cells = [
+        c for c in config.cells() if SCENARIOS[c[0]].kind == "serve"
+    ]
+    rows = _train_rows(config, train_cells, jobs=jobs, cache=cache)
+    rows += _serve_rows(config, serve_cells, jobs=jobs, cache=cache)
+    order = {cell: i for i, cell in enumerate(config.cells())}
+    rows.sort(key=lambda r: order[(r["scenario"], r["policy"], r["seed"])])
+    report = CampaignReport(config=asdict(config), rows=rows)
+    report.digest = canonical_digest(
+        {"kind": "chaos-campaign", "config": config, "rows": rows}
+    )
+    return report

@@ -1,0 +1,208 @@
+"""Named chaos scenarios: seeded fault plans with known blast radii.
+
+Each scenario is a *family* of fault plans indexed by seed: the seed
+shifts injection times across step boundaries and re-keys every
+probabilistic stream (drops, corruption rolls), while the scenario fixes
+the fault class and its topological footprint.  Campaign cells are then
+``(scenario, policy, seed)`` triples whose outcomes are fully
+deterministic — a red cell reproduces from its coordinates alone.
+
+Training scenarios use the correlated-fault vocabulary
+(:class:`~repro.faults.NodeFailure`, :class:`~repro.faults.SwitchFailure`,
+:class:`~repro.faults.PartitionFault`, :class:`~repro.faults.
+CorruptionFault`) and carry an ``expected_survivors`` function of the
+topology — the campaign's blast-radius invariant checks the final world
+size against it.  Serving scenarios stick to plain
+:class:`~repro.faults.RankFailure` (replica ids have no fabric topology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.faults.domains import Topology
+from repro.faults.plan import (
+    CorruptionFault,
+    FaultPlan,
+    NodeFailure,
+    PartitionFault,
+    RankFailure,
+    SwitchFailure,
+)
+
+
+def _stagger(seed: int, base: float) -> float:
+    """Deterministic per-seed injection-time offset.
+
+    Shifts the fault by a quarter step-ish increment so different seeds
+    land the failure at different phases of the step/checkpoint cadence
+    (mid-step, just after a snapshot, just before one).
+    """
+    return base + 0.25 * (seed % 4)
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named fault family: plan builder plus expected blast radius."""
+
+    name: str
+    #: "train" runs the scaling study's elastic loop; "serve" runs the
+    #: serving simulator
+    kind: str
+    description: str
+    build: Callable[[int, Topology | None], FaultPlan]
+    #: expected live ranks at run end given the topology (training only;
+    #: None disables the blast-radius invariant for this scenario)
+    expected_survivors: Callable[[Topology], int] | None = None
+
+
+def _node_failure_plan(seed: int, topo: Topology | None) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        faults=(NodeFailure(node=1, time=_stagger(seed, 2.0)),),
+    )
+
+
+def _switch_failure_plan(seed: int, topo: Topology | None) -> FaultPlan:
+    assert topo is not None
+    if topo.num_switches < 2:
+        raise ConfigError(
+            f"switch-failure needs >= 2 leaf switches to leave survivors; "
+            f"{topo.num_nodes} node(s) at {topo.nodes_per_switch}/switch "
+            f"give {topo.num_switches} (use >= "
+            f"{2 * topo.nodes_per_switch * topo.gpus_per_node} GPUs)"
+        )
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            SwitchFailure(
+                switch=topo.num_switches - 1, time=_stagger(seed, 2.5)
+            ),
+        ),
+    )
+
+
+def _partition_plan(seed: int, topo: Topology | None) -> FaultPlan:
+    assert topo is not None
+    if topo.num_nodes < 2:
+        raise ConfigError("partition needs >= 2 nodes")
+    island = tuple(range(topo.num_nodes // 2, topo.num_nodes))
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            PartitionFault(
+                nodes=island, start=_stagger(seed, 2.0), duration=6.0
+            ),
+        ),
+    )
+
+
+def _wire_corruption_plan(seed: int, topo: Topology | None) -> FaultPlan:
+    # permanent window: message-level fault windows run on the
+    # collective's local clock (each engine step starts at 0), so a
+    # delayed window would never cover a transfer.  The active window
+    # also pins the steady-state detector — every step is simulated, so
+    # no corruption roll is ever extrapolated away.
+    return FaultPlan(
+        seed=seed,
+        faults=(CorruptionFault(target="wire", prob=0.02),),
+    )
+
+
+def _ckpt_corruption_plan(seed: int, topo: Topology | None) -> FaultPlan:
+    # torn snapshots plus a node failure that forces a restart to *read*
+    # them: recovery must walk past corrupt files by checksum.  The
+    # failure lands after the first periodic save so keep_last retains
+    # two candidates.
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            CorruptionFault(target="checkpoint", prob=0.3),
+            NodeFailure(node=1, time=_stagger(seed, 6.0)),
+        ),
+    )
+
+
+def _serve_failover_plan(seed: int, topo: Topology | None) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            RankFailure(rank=1, time=20.0 + 2.0 * (seed % 3), down_s=25.0),
+        ),
+    )
+
+
+def _minus_node(topo: Topology) -> int:
+    return topo.num_ranks - topo.gpus_per_node
+
+
+def _minus_last_switch(topo: Topology) -> int:
+    dead_nodes = len(topo.nodes_behind_switch(topo.num_switches - 1))
+    return topo.num_ranks - dead_nodes * topo.gpus_per_node
+
+
+def _minus_partition(topo: Topology) -> int:
+    island = topo.num_nodes - topo.num_nodes // 2
+    return topo.num_ranks - island * topo.gpus_per_node
+
+
+SCENARIOS: dict[str, ChaosScenario] = {
+    s.name: s
+    for s in (
+        ChaosScenario(
+            "node-failure", "train",
+            "one whole node dies: its co-located ranks fail as one domain",
+            _node_failure_plan,
+            expected_survivors=_minus_node,
+        ),
+        ChaosScenario(
+            "switch-failure", "train",
+            "a leaf switch dies: every rank behind it leaves the job",
+            _switch_failure_plan,
+            expected_survivors=_minus_last_switch,
+        ),
+        ChaosScenario(
+            "partition", "train",
+            "the fabric splits; the minority island is severed for 6 s",
+            _partition_plan,
+            expected_survivors=_minus_partition,
+        ),
+        ChaosScenario(
+            "wire-corruption", "train",
+            "bit flips on the wire; CRC detects, the retry ladder resends",
+            _wire_corruption_plan,
+            expected_survivors=lambda topo: topo.num_ranks,
+        ),
+        ChaosScenario(
+            "ckpt-corruption", "train",
+            "torn snapshots + a node failure: restart skips corrupt files",
+            _ckpt_corruption_plan,
+            expected_survivors=_minus_node,
+        ),
+        ChaosScenario(
+            "serve-failover", "serve",
+            "a serving replica dies mid-run and later returns",
+            _serve_failover_plan,
+        ),
+    )
+}
+
+TRAIN_SCENARIOS = tuple(s for s in SCENARIOS if SCENARIOS[s].kind == "train")
+SERVE_SCENARIOS = tuple(s for s in SCENARIOS if SCENARIOS[s].kind == "serve")
+
+
+def scenario_by_name(name: str) -> ChaosScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown chaos scenario {name!r}; "
+            f"choose from {', '.join(sorted(SCENARIOS))}"
+        ) from None
+
+
+def build_plan(name: str, seed: int, topology: Topology | None) -> FaultPlan:
+    """The scenario's fault plan for one campaign seed."""
+    return scenario_by_name(name).build(seed, topology)

@@ -154,6 +154,21 @@ class HierarchicalCommunicator:
             dst = leaders[(i + 1) % len(leaders)]
             verdict = faults.message_verdict(src, dst, now)
             delay += verdict.delay_s
+            if verdict.severed:
+                from repro.errors import MpiTimeoutError
+                from repro.faults.plan import RetryPolicy
+
+                retry = RetryPolicy()
+                faults.record(
+                    "msg-timeout", now, src=src, dst=dst,
+                    detail="severed leader-ring hop",
+                )
+                raise MpiTimeoutError(
+                    f"leader-ring hop {src}->{dst} path severed "
+                    f"(partition/switch outage); retry budget "
+                    f"({retry.max_retries}) exhausted after "
+                    f"{retry.ladder_time():.6f}s"
+                )
             if verdict.drop:
                 # one deterministic retransmission of a pipeline chunk
                 delay += ib_alpha + self.world.protocol.chunk_bytes / ib_bw

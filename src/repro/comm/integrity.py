@@ -1,0 +1,69 @@
+"""End-to-end payload integrity: CRC32 framing for the wire.
+
+InfiniBand protects each hop with its own CRCs, but bit flips between the
+HCA and memory (or in buggy staging copies) arrive link-clean and
+payload-corrupt — the failure mode :class:`~repro.faults.CorruptionFault`
+models.  The transport guards against it the way real MPI stacks do:
+a CRC32 over the payload rides with every message, the receiver
+recomputes it, and a mismatch triggers a retransmission through the
+normal retry ladder.  Corruption is therefore *detected by construction*;
+the chaos invariants assert that every injected ``wire-corrupt`` event
+pairs with a ``crc-detected`` one.
+
+The functional helpers (:func:`crc32`, :func:`checked_frame`,
+:func:`verify_frame`) operate on real byte buffers for the functional
+tests; :func:`crc_check_time` is the simulated cost charged to the
+critical path.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.utils.units import GB
+
+#: sustained host CRC32 throughput (hardware-assisted, single core).
+#: Power9 and modern x86 both sustain several GB/s; the exact value only
+#: scales a small additive term on corrupt attempts.
+CRC32_BANDWIDTH = 5.0 * GB
+
+#: fixed per-message cost of computing + comparing the 4-byte checksum
+CRC32_BASE_LATENCY_S = 50e-9
+
+_HEADER = struct.Struct("<I")
+
+
+def crc32(data: bytes) -> int:
+    """CRC32 of a payload (zlib polynomial, masked to 32 bits)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def crc_check_time(nbytes: int) -> float:
+    """Simulated wall time to checksum one ``nbytes`` payload."""
+    return CRC32_BASE_LATENCY_S + nbytes / CRC32_BANDWIDTH
+
+
+def checked_frame(payload: bytes) -> bytes:
+    """Prepend the payload's CRC32 (little-endian u32) to the payload."""
+    return _HEADER.pack(crc32(payload)) + payload
+
+
+def verify_frame(frame: bytes) -> bytes:
+    """Strip and verify a :func:`checked_frame` header.
+
+    Returns the payload; raises :class:`ValueError` on a checksum
+    mismatch or a frame too short to carry the header.
+    """
+    if len(frame) < _HEADER.size:
+        raise ValueError(
+            f"frame of {len(frame)} byte(s) cannot carry a CRC32 header"
+        )
+    (expected,) = _HEADER.unpack_from(frame)
+    payload = frame[_HEADER.size:]
+    actual = crc32(payload)
+    if actual != expected:
+        raise ValueError(
+            f"CRC32 mismatch: header {expected:#010x}, payload {actual:#010x}"
+        )
+    return payload

@@ -535,7 +535,7 @@ class ScalingStudy:
             policy=self.scenario.policy,
             config=self.scenario.mv2,
         )
-        injector = FaultInjector(self.fault_plan)
+        injector = FaultInjector(self.fault_plan, topology=cluster.topology())
         world, comm = build_backend(
             cluster,
             self.scenario.backend,
@@ -565,7 +565,10 @@ class ScalingStudy:
         live = list(range(num_gpus))
         # (step_time, world_size) per completed step; truncated on restart
         records: list[tuple[float, int]] = []
-        last_ckpt = 0
+        # (step, corrupt) per retained snapshot, oldest first — restart
+        # walks newest -> oldest past corrupt files (checksum verification)
+        snapshots: list[tuple[int, bool]] = []
+        saves = 0
         clock = 0.0
         total_steps = cfg.warmup_steps + cfg.measure_steps
         # Steady-state extrapolation under faults: the detector re-arms on
@@ -604,15 +607,25 @@ class ScalingStudy:
             cost = policy.checkpoint.write_cost(ckpt_nbytes)
             clock += cost
             acct.note_checkpoint(cost)
+            snapshots.append((0, injector.checkpoint_corrupt(saves, clock)))
+            saves += 1
         while len(records) < total_steps:
-            now = clock
-            detections = supervisor.poll(now)
-            dead = [d for d in detections if d.rank in live]
-            for d in dead:
-                stall = max(0.0, d.declared_at - now)
+            # Whole failure domains are declared atomically: every rank a
+            # node/switch/partition fault took down shares one detection
+            # window, and each successive group's stall is charged off the
+            # *updated* clock — overlapping windows never double-charge.
+            groups = supervisor.poll_domains(clock)
+            dead = []
+            for group in groups:
+                members = [d for d in group.detections if d.rank in live]
+                if not members:
+                    continue
+                stall = max(0.0, group.declared_at - clock)
                 clock += stall
                 acct.note_detection(stall)
-                live.remove(d.rank)
+                for d in members:
+                    live.remove(d.rank)
+                dead.extend(members)
             if not live:
                 raise RankFailedError(
                     f"all {num_gpus} ranks failed under plan "
@@ -627,18 +640,40 @@ class ScalingStudy:
                 if periodic is not None:
                     periodic.rearm()
                 if policy.restart:
-                    lost_steps = len(records) - last_ckpt
+                    # checksum-verified recovery: walk newest -> oldest,
+                    # charging a read per attempt, past corrupt snapshots
+                    restore_step = None
+                    read = 0.0
+                    for snap_step, corrupt in reversed(snapshots):
+                        read += policy.checkpoint.read_cost(ckpt_nbytes)
+                        if not corrupt:
+                            restore_step = snap_step
+                            break
+                        injector.record(
+                            "ckpt-corrupt-skipped", clock,
+                            detail=f"step={snap_step}",
+                        )
+                    if restore_step is None:
+                        from repro.errors import CheckpointError
+
+                        raise CheckpointError(
+                            f"no valid checkpoint survives under plan "
+                            f"seed={self.fault_plan.seed}: all "
+                            f"{len(snapshots)} retained snapshot(s) corrupt "
+                            f"(keep_last={policy.checkpoint.keep_last})"
+                        )
+                    lost_steps = len(records) - restore_step
                     if lost_steps > 0:
-                        lost = sum(t for t, _ in records[last_ckpt:])
+                        lost = sum(t for t, _ in records[restore_step:])
                         acct.productive_s -= lost
                         acct.note_lost_work(lost, steps=lost_steps)
-                        del records[last_ckpt:]
-                    read = policy.checkpoint.read_cost(ckpt_nbytes)
+                        del records[restore_step:]
                     acct.note_restart(read + policy.restart_overhead_s)
                     clock += read + policy.restart_overhead_s
                     injector.record(
                         "restart", clock,
-                        detail=f"from step {last_ckpt} world={len(live)}",
+                        detail=f"from step {restore_step} "
+                               f"world={len(live)} verified",
                     )
             if policy.blacklist_after > 0:
                 for rank in supervisor.over_limit(policy.blacklist_after):
@@ -688,9 +723,12 @@ class ScalingStudy:
                 f = injector.compute_factor(rank, clock, step_index)
                 supervisor.note_compute(rank, f, clock)
                 fault_factor = max(fault_factor, f)
-            if fault_factor > 1.0:
+            if fault_factor > 1.0 or injector.wire_corruption_active(clock):
                 # a straggler slowdown perturbs the step time without any
-                # membership change — the converged value is stale
+                # membership change — the converged value is stale.  An
+                # active wire-corruption window likewise forces real steps:
+                # extrapolation sends no messages, so corruption (and its
+                # CRC retransmit cost) would silently vanish.
                 if detector is not None:
                     detector.rearm()
                 if periodic is not None:
@@ -759,19 +797,32 @@ class ScalingStudy:
                 cost = policy.checkpoint.write_cost(ckpt_nbytes)
                 clock += cost
                 acct.note_checkpoint(cost)
-                last_ckpt = len(records)
+                snapshots.append(
+                    (len(records), injector.checkpoint_corrupt(saves, clock))
+                )
+                saves += 1
+                # retention rotation mirrors CheckpointManager.keep_last
+                del snapshots[: -policy.checkpoint.keep_last]
         measured = records[cfg.warmup_steps:]
         mean_step = sum(t for t, _ in measured) / len(measured)
         regcache = None
         if self.scenario.backend == "mpi":
             stats = world.regcache_stats()
             regcache = stats["hit_rate"] if stats["hits"] + stats["misses"] else None
+        trace_kinds: dict[str, int] = {}
+        for event in injector.trace:
+            trace_kinds[event.kind] = trace_kinds.get(event.kind, 0) + 1
         resilience = {
             **acct.to_payload(),
+            # the independently-accumulated simulation clock: the chaos
+            # invariant `productive + overheads == wall clock` checks the
+            # ledger against this, not against its own sum
+            "wall_clock_s": clock,
             "world_sizes": [w for _, w in records],
             "final_world_size": len(live),
             "trace_digest": injector.trace.digest(),
             "trace_events": len(injector.trace),
+            "trace_kinds": {k: trace_kinds[k] for k in sorted(trace_kinds)},
         }
         return ScalingPoint(
             scenario=self.scenario.name,

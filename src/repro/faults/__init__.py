@@ -7,24 +7,32 @@ package makes those conditions first-class and reproducible:
 
 * :class:`FaultPlan` — a frozen, JSON-serializable schedule of faults
   (stragglers, compute jitter, link degradation/flapping, message
-  drops/delays, rank failures) keyed by a root seed;
+  drops/delays, rank failures, correlated node/switch failures, network
+  partitions, wire/checkpoint corruption) keyed by a root seed;
 * :class:`FaultInjector` — the runtime object every layer consults, which
   records each injection and recovery into a :class:`FaultTrace`;
+* :class:`Topology` — rank→node→leaf-switch addressing used to compute
+  the blast radius of correlated (domain) faults;
 * :class:`RetryPolicy` — retransmission semantics (ack timeout,
   exponential backoff, retry budget) used by the MPI transports.
 
 See ``docs/faults.md`` for the schema and the per-layer injection points.
 """
 
-from repro.faults.injector import FaultInjector, MessageVerdict
+from repro.faults.domains import Topology, lower_domain_faults
+from repro.faults.injector import FaultInjector, MessageVerdict, window_active
 from repro.faults.plan import (
+    CorruptionFault,
     FaultPlan,
     JitterFault,
     LinkFault,
     MessageFault,
+    NodeFailure,
+    PartitionFault,
     RankFailure,
     RetryPolicy,
     StragglerFault,
+    SwitchFailure,
 )
 from repro.faults.trace import FaultEvent, FaultTrace
 
@@ -35,9 +43,16 @@ __all__ = [
     "LinkFault",
     "MessageFault",
     "RankFailure",
+    "NodeFailure",
+    "SwitchFailure",
+    "PartitionFault",
+    "CorruptionFault",
     "RetryPolicy",
     "FaultInjector",
     "MessageVerdict",
+    "window_active",
+    "Topology",
+    "lower_domain_faults",
     "FaultEvent",
     "FaultTrace",
 ]

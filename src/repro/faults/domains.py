@@ -1,0 +1,167 @@
+"""Failure domains: mapping correlated faults onto the cluster topology.
+
+Real HPC outages are correlated — a PSU takes out a whole node, a leaf
+(TOR) switch takes out every node behind it, a mis-pushed routing config
+partitions the fabric.  :class:`Topology` is the frozen description the
+fault layer needs to compute those blast radii: how ranks map to nodes,
+and how nodes map to leaf switches of the fat-tree.
+
+The lowering functions translate domain-level specs
+(:class:`~repro.faults.plan.NodeFailure`,
+:class:`~repro.faults.plan.SwitchFailure`,
+:class:`~repro.faults.plan.PartitionFault`) into per-rank failure windows
+tagged with a *domain label* (``"node:2"``, ``"switch:1"``,
+``"partition:0"``), so the heartbeat supervisor can declare the whole
+domain atomically — one detection window, not N staggered ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    FaultPlan,
+    NodeFailure,
+    PartitionFault,
+    RankFailure,
+    SwitchFailure,
+)
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Rank → node → leaf-switch addressing of one job's cluster slice.
+
+    ``nodes_per_switch`` is the leaf-switch failure-domain granularity
+    (how many nodes share one TOR switch).  The fat-tree core stays
+    non-blocking for performance modelling; switches matter only as
+    correlated failure domains.
+    """
+
+    num_nodes: int
+    gpus_per_node: int = 4
+    nodes_per_switch: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise FaultPlanError(
+                f"topology: num_nodes must be >= 1, got {self.num_nodes}"
+            )
+        if self.gpus_per_node < 1:
+            raise FaultPlanError(
+                f"topology: gpus_per_node must be >= 1, got {self.gpus_per_node}"
+            )
+        if self.nodes_per_switch < 1:
+            raise FaultPlanError(
+                "topology: nodes_per_switch must be >= 1, got "
+                f"{self.nodes_per_switch}"
+            )
+
+    @classmethod
+    def from_spec(cls, spec, num_nodes: int) -> "Topology":
+        """Build from a :class:`~repro.hardware.specs.ClusterSpec`."""
+        return cls(
+            num_nodes=num_nodes,
+            gpus_per_node=spec.node.gpus_per_node,
+            nodes_per_switch=spec.nodes_per_switch,
+        )
+
+    # -- addressing --------------------------------------------------------------
+    @property
+    def num_ranks(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    @property
+    def num_switches(self) -> int:
+        per = self.nodes_per_switch
+        return (self.num_nodes + per - 1) // per
+
+    def node_of_rank(self, rank: int) -> int:
+        return rank // self.gpus_per_node
+
+    def switch_of_node(self, node: int) -> int:
+        return node // self.nodes_per_switch
+
+    def switch_of_rank(self, rank: int) -> int:
+        return self.switch_of_node(self.node_of_rank(rank))
+
+    def ranks_of_node(self, node: int) -> tuple[int, ...]:
+        base = node * self.gpus_per_node
+        return tuple(range(base, base + self.gpus_per_node))
+
+    def nodes_behind_switch(self, switch: int) -> tuple[int, ...]:
+        lo = switch * self.nodes_per_switch
+        hi = min(lo + self.nodes_per_switch, self.num_nodes)
+        return tuple(range(lo, hi))
+
+    def ranks_behind_switch(self, switch: int) -> tuple[int, ...]:
+        return tuple(
+            r
+            for node in self.nodes_behind_switch(switch)
+            for r in self.ranks_of_node(node)
+        )
+
+
+@dataclass(frozen=True)
+class LoweredFailure:
+    """One per-rank failure window produced by domain lowering."""
+
+    rank: int
+    time: float
+    down_s: float | None
+    domain: str  # "" for an independent RankFailure
+
+
+def lower_domain_faults(plan: FaultPlan, topology: Topology) -> list[LoweredFailure]:
+    """Resolve every failure in the plan to per-rank windows with domains.
+
+    Independent :class:`RankFailure` specs pass through with an empty
+    domain label; domain specs expand to their full blast radius.  When a
+    rank is claimed by more than one spec, the earliest failure wins (it
+    is the one the survivors observe first).
+    """
+    lowered: dict[int, LoweredFailure] = {}
+
+    def claim(entry: LoweredFailure) -> None:
+        prior = lowered.get(entry.rank)
+        if prior is None or entry.time < prior.time:
+            lowered[entry.rank] = entry
+
+    for f in plan.of_type(RankFailure):
+        claim(LoweredFailure(f.rank, f.time, f.down_s, ""))
+    for i, f in enumerate(plan.of_type(NodeFailure)):
+        if f.node >= topology.num_nodes:
+            raise FaultPlanError(
+                f"node-failure: node {f.node} outside the "
+                f"{topology.num_nodes}-node topology"
+            )
+        for rank in topology.ranks_of_node(f.node):
+            claim(LoweredFailure(rank, f.time, f.down_s, f"node:{f.node}"))
+    for f in plan.of_type(SwitchFailure):
+        if f.switch >= topology.num_switches:
+            raise FaultPlanError(
+                f"switch-failure: switch {f.switch} outside the "
+                f"{topology.num_switches}-switch topology"
+            )
+        if set(topology.nodes_behind_switch(f.switch)) >= set(
+            range(topology.num_nodes)
+        ):
+            raise FaultPlanError(
+                f"switch-failure: switch {f.switch} carries every node — "
+                "no surviving side would remain"
+            )
+        for rank in topology.ranks_behind_switch(f.switch):
+            claim(LoweredFailure(rank, f.time, f.down_s, f"switch:{f.switch}"))
+    for i, f in enumerate(plan.of_type(PartitionFault)):
+        for node in f.nodes:
+            if node >= topology.num_nodes:
+                raise FaultPlanError(
+                    f"partition: node {node} outside the "
+                    f"{topology.num_nodes}-node topology"
+                )
+            for rank in topology.ranks_of_node(node):
+                claim(
+                    LoweredFailure(rank, f.start, f.duration, f"partition:{i}")
+                )
+    return sorted(lowered.values(), key=lambda e: e.rank)

@@ -24,13 +24,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import FaultPlanError
 from repro.faults.plan import (
+    DOMAIN_FAULTS,
+    CorruptionFault,
     FaultPlan,
     JitterFault,
     LinkFault,
     MessageFault,
+    PartitionFault,
     RankFailure,
     StragglerFault,
+    SwitchFailure,
 )
 from repro.faults.trace import FaultTrace
 from repro.utils.seeding import derive_seed
@@ -38,23 +43,51 @@ from repro.utils.seeding import derive_seed
 
 @dataclass(frozen=True)
 class MessageVerdict:
-    """Outcome of consulting the injector for one transmission attempt."""
+    """Outcome of consulting the injector for one transmission attempt.
+
+    ``severed=True`` marks a drop caused by a partition or switch outage:
+    the path is *gone*, not lossy — every retransmission attempt will
+    drop too, so the sender is guaranteed to exhaust its retry ladder.
+    """
 
     drop: bool = False
     delay_s: float = 0.0
+    severed: bool = False
 
 
-def _window_active(start: float, duration: float | None, time: float) -> bool:
+def window_active(start: float, duration: float | None, time: float) -> bool:
+    """End-exclusive fault-window membership: ``start <= time < start +
+    duration`` (``duration=None`` never ends).
+
+    The window is half-open — a fault is active *at* its start instant
+    and inactive at exactly ``start + duration``, so back-to-back windows
+    ``[a, b)`` and ``[b, c)`` tile the timeline without double-firing and
+    a zero-length window is empty (plan validation rejects
+    ``duration=0`` for that reason).
+    """
     if time < start:
         return False
     return duration is None or time < start + duration
 
 
-class FaultInjector:
-    """Evaluates a :class:`FaultPlan` against the simulation clock."""
+# backwards-compatible alias (pre-dates the public export)
+_window_active = window_active
 
-    def __init__(self, plan: FaultPlan, *, timeline=None, hvprof=None):
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against the simulation clock.
+
+    ``topology`` (a :class:`~repro.faults.domains.Topology`) is required
+    when the plan contains domain faults — node/switch failures and
+    partitions resolve their blast radius through it.  Plans made of
+    per-rank faults only work without one.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, *, topology=None, timeline=None, hvprof=None
+    ):
         self.plan = plan
+        self.topology = topology
         self.trace = FaultTrace()
         self.timeline = timeline
         self.hvprof = hvprof
@@ -62,9 +95,34 @@ class FaultInjector:
         self._jitters = plan.of_type(JitterFault)
         self._links = plan.of_type(LinkFault)
         self._messages = plan.of_type(MessageFault)
-        self._failures = {f.rank: f.time for f in plan.of_type(RankFailure)}
-        self._failure_specs = {f.rank: f for f in plan.of_type(RankFailure)}
+        self._partitions = plan.of_type(PartitionFault)
+        self._switch_failures = plan.of_type(SwitchFailure)
+        corruptions = plan.of_type(CorruptionFault)
+        self._wire_corruptions = [c for c in corruptions if c.target == "wire"]
+        self._ckpt_corruptions = [
+            c for c in corruptions if c.target == "checkpoint"
+        ]
+        if topology is None:
+            if any(isinstance(f, DOMAIN_FAULTS) for f in plan.faults):
+                raise FaultPlanError(
+                    "plan contains domain faults (node/switch/partition) "
+                    "but no topology was given; pass "
+                    "FaultInjector(plan, topology=Topology(...))"
+                )
+            self._lowered = {
+                f.rank: f for f in plan.of_type(RankFailure)
+            }
+            self._failures = {f.rank: f.time for f in plan.of_type(RankFailure)}
+            self._domains = {}
+        else:
+            from repro.faults.domains import lower_domain_faults
+
+            lowered = lower_domain_faults(plan, topology)
+            self._lowered = {e.rank: e for e in lowered}
+            self._failures = {e.rank: e.time for e in lowered}
+            self._domains = {e.rank: e.domain for e in lowered if e.domain}
         self._msg_seq = 0
+        self._corrupt_seq = 0
         # transition keys already recorded (one trace event per onset, not
         # one per query)
         self._noted: set[tuple] = set()
@@ -161,13 +219,51 @@ class FaultInjector:
             extra += f.latency_add_s
         return bw_factor, extra
 
+    # -- severed paths (partitions / switch outages) -----------------------------
+    def path_severed(self, src: int, dst: int, time: float) -> bool:
+        """True when no fabric path exists between two ranks right now.
+
+        A partition severs every path crossing the cut (the island keeps
+        its internal fabric); a dead leaf switch severs every inter-node
+        path touching a node behind it.  Same-node pairs ride NVLink and
+        are never severed.
+        """
+        topo = self.topology
+        if topo is None or src == dst:
+            return False
+        src_node = topo.node_of_rank(src)
+        dst_node = topo.node_of_rank(dst)
+        if src_node == dst_node:
+            return False
+        for f in self._partitions:
+            if not window_active(f.start, f.duration, time):
+                continue
+            if (src_node in f.nodes) != (dst_node in f.nodes):
+                return True
+        for f in self._switch_failures:
+            if not window_active(f.time, f.down_s, time):
+                continue
+            behind = set(topo.nodes_behind_switch(f.switch))
+            if src_node in behind or dst_node in behind:
+                return True
+        return False
+
     # -- messages ---------------------------------------------------------------
     def message_verdict(self, src: int, dst: int, time: float) -> MessageVerdict:
         """Drop/delay decision for one transmission attempt.
 
         Each consultation advances a sequence counter, so retransmissions
-        re-roll the (seeded) drop decision deterministically.
+        re-roll the (seeded) drop decision deterministically.  A severed
+        path returns a guaranteed drop *without* consuming the sequence
+        counter — topology verdicts are deterministic, so they must not
+        perturb the seeded stream of probabilistic drops.
         """
+        if self.path_severed(src, dst, time):
+            self._note(
+                ("severed", src, dst), "msg-severed", time, src=src, dst=dst,
+                detail="no fabric path (partition/switch outage)",
+            )
+            return MessageVerdict(drop=True, severed=True)
         drop = False
         delay = 0.0
         for f in self._messages:
@@ -194,6 +290,61 @@ class FaultInjector:
                         detail=f"{delay:g}s")
         return MessageVerdict(drop=drop, delay_s=delay)
 
+    # -- corruption --------------------------------------------------------------
+    def corruption_verdict(self, src: int, dst: int, time: float) -> bool:
+        """True when this transmission attempt's payload is corrupted.
+
+        Rolled per attempt from the plan seed on a sequence counter
+        separate from the drop stream, so corruption plans never perturb
+        drop decisions (and vice versa).  Every hit is recorded —
+        downstream CRC detection must pair each ``wire-corrupt`` event
+        with a ``crc-detected`` one.
+        """
+        for f in self._wire_corruptions:
+            if not window_active(f.start, f.duration, time):
+                continue
+            seq = self._corrupt_seq
+            self._corrupt_seq += 1
+            u = float(
+                np.random.default_rng(
+                    derive_seed(self.plan.seed, "corrupt", src, dst, seq)
+                ).random()
+            )
+            if u < f.prob:
+                self.record("wire-corrupt", time, src=src, dst=dst)
+                return True
+        return False
+
+    def wire_corruption_active(self, time: float) -> bool:
+        """True while any wire-corruption window covers ``time``.
+
+        Steady-state extrapolation must not skip engine steps inside an
+        active window — an extrapolated step sends no messages, so the
+        corruption (and its CRC retransmit cost) would silently vanish.
+        """
+        return any(
+            window_active(f.start, f.duration, time)
+            for f in self._wire_corruptions
+        )
+
+    def checkpoint_corrupt(self, save_index: int, time: float) -> bool:
+        """True when snapshot number ``save_index`` is written corrupt
+        (torn write / bit rot caught later by checksum verification)."""
+        for f in self._ckpt_corruptions:
+            if not window_active(f.start, f.duration, time):
+                continue
+            u = float(
+                np.random.default_rng(
+                    derive_seed(self.plan.seed, "ckpt-corrupt", save_index)
+                ).random()
+            )
+            if u < f.prob:
+                self.record(
+                    "ckpt-corrupt", time, detail=f"save_index={save_index}"
+                )
+                return True
+        return False
+
     # -- rank failures ----------------------------------------------------------
     def failure_time(self, rank: int) -> float | None:
         """When ``rank`` permanently fails, or None if it never does."""
@@ -205,8 +356,14 @@ class FaultInjector:
     def failure_down_s(self, rank: int) -> float | None:
         """Outage duration for ``rank``'s failure (None: permanent or no
         failure scheduled)."""
-        spec = self._failure_specs.get(rank)
+        spec = self._lowered.get(rank)
         return spec.down_s if spec is not None else None
+
+    def domain_of(self, rank: int) -> str:
+        """Failure-domain label of ``rank``'s scheduled failure
+        (``"node:2"``, ``"switch:1"``, ``"partition:0"``) or ``""`` for
+        an independent failure / no failure at all."""
+        return self._domains.get(rank, "")
 
     @property
     def any_faults(self) -> bool:

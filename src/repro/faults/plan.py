@@ -17,16 +17,19 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 
-from repro.errors import FaultPlanError
+from repro.errors import ConfigError, FaultPlanError
 
 
 def _check_window(name: str, start: float, duration: float | None) -> None:
     if start < 0:
         raise FaultPlanError(f"{name}: start must be >= 0, got {start}")
     if duration is not None and duration <= 0:
+        # Windows are half-open [start, start + duration) — see
+        # ``repro.faults.injector.window_active`` — so duration=0 would
+        # define an empty window that can never fire.
         raise FaultPlanError(
-            f"{name}: duration must be positive (or None for permanent), "
-            f"got {duration}"
+            f"{name}: duration must be positive (or None for permanent); "
+            f"duration={duration} defines an empty window that never fires"
         )
 
 
@@ -172,6 +175,137 @@ class RankFailure:
 
 
 @dataclass(frozen=True)
+class NodeFailure:
+    """Correlated loss of one whole node (PSU trip, kernel panic).
+
+    Every GPU rank hosted on ``node`` fails *simultaneously* at ``time``
+    — the blast radius is computed from the cluster topology
+    (:class:`~repro.faults.domains.Topology`), so a Lassen node takes its
+    4 ranks down in one detection window, not 4 staggered ones.
+    ``down_s`` follows :class:`RankFailure` semantics.
+    """
+
+    node: int
+    time: float = 0.0
+    down_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultPlanError(
+                f"node-failure: node must be >= 0, got {self.node}"
+            )
+        if self.time < 0:
+            raise FaultPlanError(
+                f"node-failure: time must be >= 0, got {self.time}"
+            )
+        if self.down_s is not None and self.down_s <= 0:
+            raise FaultPlanError(
+                "node-failure: down_s must be positive (or None for "
+                f"permanent), got {self.down_s}"
+            )
+
+
+@dataclass(frozen=True)
+class SwitchFailure:
+    """Loss of one leaf (TOR) switch of the fat-tree.
+
+    Every IB path through the switch is severed for the outage window:
+    the nodes behind it keep computing but cannot reach the rest of the
+    fabric, so from the job's point of view all their ranks drop out at
+    once.  Messages attempted across the severed boundary fail the retry
+    ladder and raise :class:`~repro.errors.MpiTimeoutError`.
+    """
+
+    switch: int
+    time: float = 0.0
+    down_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.switch < 0:
+            raise FaultPlanError(
+                f"switch-failure: switch must be >= 0, got {self.switch}"
+            )
+        if self.time < 0:
+            raise FaultPlanError(
+                f"switch-failure: time must be >= 0, got {self.time}"
+            )
+        if self.down_s is not None and self.down_s <= 0:
+            raise FaultPlanError(
+                "switch-failure: down_s must be positive (or None for "
+                f"permanent), got {self.down_s}"
+            )
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """Network partition: a set of nodes is cut off from the rest.
+
+    ``nodes`` is the severed island; the side holding node 0 (where the
+    coordinator lives) keeps running, so node 0 may not be listed.  While
+    the window is active every path crossing the cut is severed — the
+    survivors see the island's ranks die together, and any message across
+    the cut exhausts its retry ladder with
+    :class:`~repro.errors.MpiTimeoutError`.  ``duration=None`` makes the
+    partition permanent; a finite duration heals it, after which a
+    ``regrow`` recovery policy may re-admit the island.
+    """
+
+    nodes: tuple[int, ...] = ()
+    start: float = 0.0
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        if not self.nodes:
+            raise FaultPlanError("partition: needs at least one severed node")
+        if any(n < 0 for n in self.nodes):
+            raise FaultPlanError(
+                f"partition: node ids must be >= 0, got {self.nodes}"
+            )
+        if 0 in self.nodes:
+            raise FaultPlanError(
+                "partition: node 0 hosts the coordinator and must stay on "
+                "the surviving side; list the severed island only"
+            )
+        if len(set(self.nodes)) != len(self.nodes):
+            raise FaultPlanError(
+                f"partition: duplicate node ids in {self.nodes}"
+            )
+        _check_window("partition", self.start, self.duration)
+
+
+@dataclass(frozen=True)
+class CorruptionFault:
+    """Seeded bit-flip corruption of data in flight or at rest.
+
+    ``target="wire"`` corrupts point-to-point payloads with probability
+    ``prob`` per transmission attempt; the transport's CRC32 check
+    detects the damage and retransmits through the retry ladder (an
+    undetected corruption can never reach optimizer state).
+    ``target="checkpoint"`` corrupts snapshot writes with probability
+    ``prob`` per save; the restart path's checksum verification skips the
+    damaged snapshot and falls back to an older one.
+    """
+
+    target: str = "wire"
+    prob: float = 0.0
+    start: float = 0.0
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.target not in ("wire", "checkpoint"):
+            raise FaultPlanError(
+                "corruption: target must be 'wire' or 'checkpoint', got "
+                f"{self.target!r}"
+            )
+        if not 0.0 < self.prob <= 1.0:
+            raise FaultPlanError(
+                f"corruption: prob must be in (0, 1], got {self.prob}"
+            )
+        _check_window("corruption", self.start, self.duration)
+
+
+@dataclass(frozen=True)
 class RetryPolicy:
     """Retransmission semantics for dropped messages.
 
@@ -179,6 +313,12 @@ class RetryPolicy:
     after an exponential backoff (``base_backoff_s * backoff_factor**k``).
     After ``max_retries`` consecutive losses the transport raises
     :class:`~repro.errors.MpiTimeoutError`.
+
+    ``max_retries=0`` is *fail-fast*: the first loss raises immediately
+    (no retransmission).  Invalid timing parameters are rejected here
+    with :class:`~repro.errors.ConfigError` — a zero ack timeout or a
+    negative backoff would otherwise surface as a silent downstream hang
+    or a simulation that never advances.
     """
 
     max_retries: int = 4
@@ -188,19 +328,36 @@ class RetryPolicy:
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
-            raise FaultPlanError(
-                f"retry: max_retries must be >= 0, got {self.max_retries}"
+            raise ConfigError(
+                f"retry: max_retries must be >= 0 (0 means fail-fast on "
+                f"the first loss), got {self.max_retries}"
             )
-        if self.ack_timeout_s < 0 or self.base_backoff_s < 0:
-            raise FaultPlanError("retry: timeouts must be >= 0")
+        if self.ack_timeout_s <= 0:
+            raise ConfigError(
+                "retry: ack_timeout_s must be > 0 (a zero timeout would "
+                f"poll a lost message forever), got {self.ack_timeout_s}"
+            )
+        if self.base_backoff_s < 0:
+            raise ConfigError(
+                f"retry: base_backoff_s must be >= 0, got {self.base_backoff_s}"
+            )
         if self.backoff_factor < 1.0:
-            raise FaultPlanError(
+            raise ConfigError(
                 f"retry: backoff_factor must be >= 1, got {self.backoff_factor}"
             )
 
     def backoff(self, attempt: int) -> float:
         """Backoff before retransmission ``attempt`` (1-based)."""
         return self.base_backoff_s * self.backoff_factor ** (attempt - 1)
+
+    def ladder_time(self) -> float:
+        """Total wall time of the exhausted retry ladder — what a sender
+        waits before declaring a severed path dead: one ack timeout plus
+        backoff per retransmission."""
+        return sum(
+            self.ack_timeout_s + self.backoff(k)
+            for k in range(1, self.max_retries + 1)
+        )
 
 
 _FAULT_TYPES = {
@@ -209,12 +366,20 @@ _FAULT_TYPES = {
     "link": LinkFault,
     "message": MessageFault,
     "failure": RankFailure,
+    "node-failure": NodeFailure,
+    "switch-failure": SwitchFailure,
+    "partition": PartitionFault,
+    "corruption": CorruptionFault,
 }
 _TYPE_NAMES = {cls: name for name, cls in _FAULT_TYPES.items()}
 
 FaultSpec = (
     StragglerFault | JitterFault | LinkFault | MessageFault | RankFailure
+    | NodeFailure | SwitchFailure | PartitionFault | CorruptionFault
 )
+
+#: fault classes whose blast radius needs the cluster topology to resolve
+DOMAIN_FAULTS = (NodeFailure, SwitchFailure, PartitionFault)
 
 
 @dataclass(frozen=True)

@@ -152,10 +152,18 @@ class ClusterSpec:
     # Fat-tree with full bisection bandwidth => no core over-subscription,
     # but >1 models tapered networks.
     oversubscription: float = 1.0
+    # Nodes sharing one leaf (TOR) switch: the granularity of correlated
+    # switch-failure domains.  The core stays non-blocking for performance
+    # modelling; this only shapes fault blast radii (see repro.faults).
+    nodes_per_switch: int = 2
 
     def __post_init__(self) -> None:
         check_positive("max_nodes", self.max_nodes)
         check_positive("oversubscription", self.oversubscription)
+        if self.nodes_per_switch < 1:
+            raise ConfigError(
+                f"nodes_per_switch must be >= 1, got {self.nodes_per_switch}"
+            )
 
     def with_nodes(self, max_nodes: int) -> "ClusterSpec":
         return replace(self, max_nodes=max_nodes)

@@ -239,6 +239,57 @@ class StepCoster:
             return self.host_reduce_time(nbytes, dtype_bytes)
         return self.gpu_reduce_time(nbytes, dtype_bytes)
 
+    # -- wire corruption (analytic path) -----------------------------------------
+    def corruption_active(self) -> bool:
+        """True when an attached injector has a live wire-corruption window.
+
+        Checked against the cluster clock (constant during an analytic
+        walk), so chaos plans use permanent windows for analytic runs —
+        timed windows belong to the event-driven transport path.
+        """
+        faults = self.transport.faults
+        return faults is not None and faults.wire_corruption_active(
+            self.transport.cluster.env.now
+        )
+
+    def corruption_surcharge(
+        self, src: int, dst: int, nbytes: int, t_plain: float
+    ) -> float:
+        """CRC-detected retransmit charge for one delivered transfer.
+
+        Mirrors the event path's ladder: each corrupt delivery is caught
+        by the receiver's CRC pass and retransmitted, charging the CRC
+        scan plus a full re-send of the plain transfer.  Every attempt
+        consumes exactly one roll of the injector's corruption stream, so
+        the exact and fast engines stay bit-identical.  A transfer
+        corrupted past the retry budget raises
+        :class:`~repro.errors.MpiTimeoutError`, like a lost message.
+        """
+        from repro.comm.integrity import crc_check_time
+        from repro.errors import MpiTimeoutError
+
+        faults = self.transport.faults
+        if faults is None or src == dst:
+            return 0.0
+        now = self.transport.cluster.env.now
+        retry = self.transport.retry
+        extra = 0.0
+        corrupt = 0
+        while faults.corruption_verdict(src, dst, now):
+            corrupt += 1
+            faults.record(
+                "crc-detected", now, src=src, dst=dst,
+                detail=f"{nbytes}B retransmit",
+            )
+            extra += crc_check_time(nbytes) + t_plain
+            if corrupt > retry.max_retries:
+                raise MpiTimeoutError(
+                    f"message {src}->{dst} ({nbytes}B) corrupted "
+                    f"{corrupt} time(s); retry budget "
+                    f"({retry.max_retries}) exhausted"
+                )
+        return extra
+
     # -- step timing ---------------------------------------------------------------
     def step_time_analytic(
         self, transfers: list[PairTransfer], *, reduce_after: bool = False
@@ -249,6 +300,7 @@ class StepCoster:
         staged_by_node: dict[int, list[float]] = {}
         other_max = 0.0
         engines = self.transport.cluster.spec.node.staging_engines
+        corrupting = self.corruption_active()
         for t in transfers:
             bd = self.transport.cost(
                 t.src, t.dst, t.nbytes,
@@ -258,6 +310,10 @@ class StepCoster:
             total = bd.total
             if reduce_after:
                 total += self.reduce_time_for(bd.kind, t.nbytes, t.dtype_bytes)
+            if corrupting:
+                total += self.corruption_surcharge(
+                    t.src, t.dst, t.nbytes, bd.total
+                )
             if bd.kind in (
                 TransportKind.HOST_STAGED,
                 TransportKind.SMP_EAGER,

@@ -298,22 +298,40 @@ class TransportModel:
         env_ = self.cluster.env
         if self.faults is not None:
             attempt = 0
+            severed = False
             while True:
                 verdict = self.faults.message_verdict(src, dst, env_.now)
+                severed = verdict.severed
                 if verdict.delay_s > 0:
                     yield env_.timeout(verdict.delay_s)
                 if not verdict.drop:
-                    break
+                    if not self.faults.corruption_verdict(src, dst, env_.now):
+                        break
+                    # delivered but damaged: the CRC32 frame check catches
+                    # it and the ladder retransmits, exactly like a loss —
+                    # corruption can never reach the consumer undetected
+                    from repro.comm.integrity import crc_check_time
+
+                    yield env_.timeout(crc_check_time(nbytes))
+                    self.faults.record(
+                        "crc-detected", env_.now, src=src, dst=dst,
+                        detail=f"{nbytes}B retransmit",
+                    )
                 attempt += 1
                 if attempt > self.retry.max_retries:
+                    cause = (
+                        "path severed (partition/switch outage)"
+                        if severed else "lost"
+                    )
                     self.faults.record(
                         "msg-timeout", env_.now, src=src, dst=dst,
-                        detail=f"{nbytes}B after {attempt} attempts",
+                        detail=f"{nbytes}B after {attempt} attempts"
+                               + (" severed" if severed else ""),
                     )
                     raise MpiTimeoutError(
-                        f"message {src}->{dst} ({nbytes}B) lost {attempt} "
-                        f"times; retry budget ({self.retry.max_retries}) "
-                        "exhausted"
+                        f"message {src}->{dst} ({nbytes}B) {cause} "
+                        f"{attempt} time(s); retry budget "
+                        f"({self.retry.max_retries}) exhausted"
                     )
                 backoff = self.retry.backoff(attempt)
                 self.faults.record(

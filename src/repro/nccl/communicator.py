@@ -133,7 +133,10 @@ class NcclCommunicator:
         Mirrors the MPI transport's per-message verdicts at envelope
         granularity: each inter-node (src, dst) hop is consulted once per
         collective; delays accumulate, and a drop costs one deterministic
-        retransmission of a pipeline chunk.
+        retransmission of a pipeline chunk.  A *severed* hop (partition /
+        switch outage) can never succeed: the sender waits out the whole
+        retry ladder, then the collective raises
+        :class:`~repro.errors.MpiTimeoutError` — surfaced, not a hang.
         """
         faults = self.world.faults
         if faults is None or len(self.ranks) <= 1 or nbytes == 0:
@@ -149,6 +152,21 @@ class NcclCommunicator:
                 continue
             verdict = faults.message_verdict(rank, nxt, self._now())
             delay += verdict.delay_s
+            if verdict.severed:
+                from repro.errors import MpiTimeoutError
+                from repro.faults.plan import RetryPolicy
+
+                retry = RetryPolicy()
+                faults.record(
+                    "msg-timeout", self._now(), src=rank, dst=nxt,
+                    detail=f"{nbytes}B severed ring hop",
+                )
+                raise MpiTimeoutError(
+                    f"ring hop {rank}->{nxt} ({nbytes}B) path severed "
+                    f"(partition/switch outage); retry budget "
+                    f"({retry.max_retries}) exhausted after "
+                    f"{retry.ladder_time():.6f}s"
+                )
             if verdict.drop:
                 ib_bw = cluster.spec.ib.bandwidth * proto.ib_efficiency
                 delay += proto.inter_step_latency_s + proto.chunk_bytes / ib_bw

@@ -38,6 +38,7 @@ from repro.resilience.policy import (
 )
 from repro.resilience.supervisor import (
     Detection,
+    DomainDetection,
     HeartbeatConfig,
     HeartbeatSupervisor,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "HeartbeatConfig",
     "HeartbeatSupervisor",
     "Detection",
+    "DomainDetection",
     "RecoveryPolicy",
     "RecoveryAccounting",
     "SHRINK_CONTINUE",

@@ -83,6 +83,32 @@ class Detection:
         return self.declared_at - self.fail_time
 
 
+@dataclass(frozen=True)
+class DomainDetection:
+    """One declared *failure-domain* death: every rank the domain took
+    down, declared atomically in a single detection window.
+
+    ``domain`` is the injector's blast-radius label (``"node:2"``,
+    ``"switch:1"``, ``"partition:0"``) or ``"rank:<r>"`` for an
+    independent failure.  Correlated failures cost ONE detection window,
+    not N staggered ones: the watchdog misses every member's heartbeat in
+    the same interval and the probe ladder runs once per domain.
+    """
+
+    domain: str
+    fail_time: float
+    declared_at: float
+    detections: tuple[Detection, ...]
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return tuple(d.rank for d in self.detections)
+
+    @property
+    def latency(self) -> float:
+        return self.declared_at - self.fail_time
+
+
 class HeartbeatSupervisor:
     """Tracks rank liveness and straggler offenses against an injector."""
 
@@ -129,6 +155,41 @@ class HeartbeatSupervisor:
             )
             detections.append(detection)
         return detections
+
+    def poll_domains(self, now: float) -> list[DomainDetection]:
+        """Like :meth:`poll`, but grouped by failure domain.
+
+        Ranks felled by the same correlated fault (node failure, switch
+        outage, partition) share a fail time and a domain label, so they
+        are declared together — the caller charges one detection stall
+        per group, off its *updated* clock, instead of N overlapping
+        windows.  Independent failures form singleton groups keyed
+        ``"rank:<r>"``.  Groups come back ordered by declaration time.
+        """
+        detections = self.poll(now)
+        if not detections:
+            return []
+        groups: dict[tuple[str, float], list[Detection]] = {}
+        for d in detections:
+            domain = ""
+            if self.injector is not None and hasattr(self.injector, "domain_of"):
+                domain = self.injector.domain_of(d.rank)
+            key = (domain or f"rank:{d.rank}", d.fail_time)
+            groups.setdefault(key, []).append(d)
+        out = []
+        for (domain, fail_time), members in groups.items():
+            members.sort(key=lambda d: d.rank)
+            declared = max(d.declared_at for d in members)
+            group = DomainDetection(domain, fail_time, declared, tuple(members))
+            if len(members) > 1 and self.injector is not None:
+                self.injector.record(
+                    "domain-dead", declared,
+                    detail=f"{domain} ranks={list(group.ranks)} "
+                           f"latency={group.latency:.4f}s",
+                )
+            out.append(group)
+        out.sort(key=lambda g: (g.declared_at, g.domain))
+        return out
 
     # -- elastic regrow ----------------------------------------------------------
     def recovered(self, now: float) -> list[int]:

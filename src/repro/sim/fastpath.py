@@ -396,6 +396,7 @@ class FastPathSession:
         other_max = 0.0
         engines = tr.cluster.spec.node.staging_engines
         staged_kinds = self._staged_kinds
+        corrupting = coster.corruption_active()
         for t in transfers:
             key = (
                 t.src,
@@ -415,6 +416,13 @@ class FastPathSession:
                 total = self._replay(entry, reduce_after)
                 kind = entry.kind
                 self.replayed_transfers += 1
+                if corrupting:
+                    # same rolls, same association order as the exact walk:
+                    # replay covers the clean transfer, the surcharge adds
+                    # CRC-detected retransmits on top
+                    total += coster.corruption_surcharge(
+                        t.src, t.dst, t.nbytes, entry.t_plain
+                    )
             else:
                 # Snapshot the receiver-side transaction state *before* the
                 # call: with the registration cache disabled, the observed
@@ -445,6 +453,10 @@ class FastPathSession:
                 total = bd.total
                 if reduce_after:
                     total += coster.reduce_time_for(kind, t.nbytes, t.dtype_bytes)
+                if corrupting:
+                    total += coster.corruption_surcharge(
+                        t.src, t.dst, t.nbytes, bd.total
+                    )
                 self.exact_transfers += 1
                 if clock.value == before:
                     if len(memo) >= self.MAX_ENTRIES:
@@ -472,7 +484,11 @@ class FastPathSession:
     ) -> float:
         """Analytic schedule walk with per-transfer replay (same summation
         order as the exact path: sequential over steps)."""
-        if getattr(steps, "is_ring_schedule", False):
+        if getattr(steps, "is_ring_schedule", False) and not coster.corruption_active():
+            # the ring closed form collapses warm steps without walking
+            # their transfers — under an active wire-corruption window
+            # every transfer must roll the corruption stream, so fall
+            # through to the per-step walk
             return self._ring_run(coster, steps, reduce_after)
         total = 0.0
         for step in steps:

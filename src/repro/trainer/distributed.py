@@ -296,16 +296,27 @@ class DistributedTrainer:
             self._save_checkpoint(acct, steps_completed=0)
         step = 0
         while step < steps:
-            now = self._clock
-            detections = self.supervisor.poll(now)
-            dead = [d for d in detections if d.rank in self.dist_opt.ranks]
-            for d in dead:
+            # Whole failure domains are declared atomically: the ranks a
+            # node/switch/partition fault took down share one detection
+            # window, charged once off the updated clock — N members of a
+            # domain never stack N overlapping watchdog stalls.
+            groups = self.supervisor.poll_domains(self._clock)
+            dead = []
+            for group in groups:
+                members = [
+                    d for d in group.detections
+                    if d.rank in self.dist_opt.ranks
+                ]
+                if not members:
+                    continue
                 # survivors stall in the hung collective until the watchdog
-                # declares the rank dead
-                stall = max(0.0, d.declared_at - now)
+                # declares the domain dead
+                stall = max(0.0, group.declared_at - self._clock)
                 self._clock += stall
                 acct.note_detection(stall)
-                self.dist_opt.drop_rank(d.rank)
+                for d in members:
+                    self.dist_opt.drop_rank(d.rank)
+                dead.extend(members)
             if dead and policy.restart and self.checkpoints is not None:
                 step = self._restart_from_checkpoint(result, acct, step)
             if policy.blacklist_after > 0:
@@ -316,7 +327,7 @@ class DistributedTrainer:
                         acct.note_blacklist(rank)
                         if self.faults is not None:
                             self.faults.record(
-                                "rank-blacklisted", now, rank=rank,
+                                "rank-blacklisted", self._clock, rank=rank,
                                 detail=f"offenses>={policy.blacklist_after}",
                             )
             if policy.regrow:

@@ -13,20 +13,28 @@ import pytest
 
 from repro.data import DegradationConfig, SRDataset, SyntheticDiv2k
 from repro.errors import (
+    ConfigError,
     DeadlockError,
     FaultPlanError,
     MpiTimeoutError,
     RankFailedError,
 )
 from repro.faults import (
+    CorruptionFault,
     FaultInjector,
     FaultPlan,
     JitterFault,
     LinkFault,
     MessageFault,
+    NodeFailure,
+    PartitionFault,
     RankFailure,
     RetryPolicy,
     StragglerFault,
+    SwitchFailure,
+    Topology,
+    lower_domain_faults,
+    window_active,
 )
 from repro.hardware import LASSEN, Cluster
 from repro.horovod import (
@@ -44,7 +52,7 @@ from repro.sim import Environment
 from repro.trainer import DistributedTrainer
 
 
-def make_fabric(plan=None, *, retry=None, num_nodes=1):
+def make_fabric(plan=None, *, retry=None, num_nodes=1, topology=None):
     """P2P fabric with an optional fault plan wired into the transport."""
     env = Environment()
     cluster = Cluster(env, LASSEN, num_nodes=num_nodes)
@@ -52,7 +60,9 @@ def make_fabric(plan=None, *, retry=None, num_nodes=1):
     spec = WorldSpec(num_ranks=cluster.num_gpus, policy=SingletonDevicePolicy(),
                      config=config)
     ranks = build_world(cluster, spec)
-    injector = FaultInjector(plan) if plan is not None else None
+    injector = (
+        FaultInjector(plan, topology=topology) if plan is not None else None
+    )
     transport = TransportModel(cluster, config, ranks, faults=injector,
                                retry=retry)
     return env, P2PFabric(transport), injector
@@ -429,3 +439,298 @@ class TestDeadlockRegression:
             fabric.isend(0, 1, nbytes=256)
         with pytest.raises(DeadlockError):
             env.run()
+
+
+class TestWindowSemantics:
+    """The half-open [start, start+duration) contract every fault window
+    shares — an off-by-one here double-fires back-to-back windows."""
+
+    def test_start_inclusive_end_exclusive(self):
+        assert not window_active(1.0, 2.0, 0.999)
+        assert window_active(1.0, 2.0, 1.0)      # active AT the start
+        assert window_active(1.0, 2.0, 2.999)
+        assert not window_active(1.0, 2.0, 3.0)  # inactive AT the end
+
+    def test_back_to_back_windows_tile_without_overlap(self):
+        for t in (0.0, 0.5, 1.0, 1.5, 2.0, 2.5):
+            first = window_active(0.0, 1.0, t)
+            second = window_active(1.0, 1.0, t)
+            assert not (first and second)
+            assert (first or second) == (t < 2.0)
+
+    def test_none_duration_is_permanent(self):
+        assert window_active(0.5, None, 0.5)
+        assert window_active(0.5, None, 1e9)
+        assert not window_active(0.5, None, 0.25)
+
+    def test_zero_duration_rejected_at_spec_construction(self):
+        # a [t, t) window is empty and can never fire: plan validation
+        # rejects it instead of silently shipping a no-op fault
+        with pytest.raises(FaultPlanError, match="duration"):
+            StragglerFault(rank=0, factor=2.0, start=1.0, duration=0.0)
+        with pytest.raises(FaultPlanError, match="duration"):
+            CorruptionFault(target="wire", prob=0.5, duration=0.0)
+
+
+class TestRetryPolicyValidation:
+    def test_rejects_nonpositive_ack_timeout(self):
+        with pytest.raises(ConfigError, match="ack_timeout_s"):
+            RetryPolicy(ack_timeout_s=0.0)
+
+    def test_rejects_negative_backoff_and_shrinking_factor(self):
+        with pytest.raises(ConfigError, match="base_backoff_s"):
+            RetryPolicy(base_backoff_s=-1e-6)
+        with pytest.raises(ConfigError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_rejects_negative_retry_budget(self):
+        with pytest.raises(ConfigError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+    def test_ladder_time_sums_timeouts_and_backoffs(self):
+        policy = RetryPolicy(max_retries=3, ack_timeout_s=1e-4,
+                             base_backoff_s=1e-4, backoff_factor=2.0)
+        # 3 * ack + (1 + 2 + 4) * base
+        assert policy.ladder_time() == pytest.approx(3e-4 + 7e-4)
+        assert RetryPolicy(max_retries=0).ladder_time() == 0.0
+
+    def test_zero_retries_fails_fast_on_first_loss(self):
+        plan = FaultPlan(seed=3, faults=(
+            MessageFault(src=0, dst=1, drop_prob=1.0),))
+        env, fabric, inj = make_fabric(plan, retry=RetryPolicy(max_retries=0))
+        fabric.isend(0, 1, nbytes=256)
+        fabric.irecv(1, source=0, nbytes=256)
+        with pytest.raises(MpiTimeoutError):
+            env.run()
+        assert inj.trace.count("msg-retry") == 0  # no retransmission at all
+
+
+class TestDomainFaultSpecs:
+    def test_rejects_negative_addresses(self):
+        with pytest.raises(FaultPlanError):
+            NodeFailure(node=-1)
+        with pytest.raises(FaultPlanError):
+            SwitchFailure(switch=-2)
+        with pytest.raises(FaultPlanError):
+            PartitionFault(nodes=(1, -3))
+
+    def test_partition_must_not_sever_the_coordinator(self):
+        with pytest.raises(FaultPlanError, match="coordinator"):
+            PartitionFault(nodes=(0, 1))
+        with pytest.raises(FaultPlanError, match="duplicate"):
+            PartitionFault(nodes=(1, 1))
+        with pytest.raises(FaultPlanError, match="at least one"):
+            PartitionFault(nodes=())
+
+    def test_corruption_target_and_prob_validated(self):
+        with pytest.raises(FaultPlanError, match="target"):
+            CorruptionFault(target="ram", prob=0.5)
+        with pytest.raises(FaultPlanError, match="prob"):
+            CorruptionFault(target="wire", prob=0.0)
+        with pytest.raises(FaultPlanError, match="prob"):
+            CorruptionFault(target="wire", prob=1.5)
+
+    def test_domain_specs_round_trip_json(self):
+        plan = FaultPlan(
+            seed=13,
+            faults=(
+                NodeFailure(node=2, time=1.5, down_s=4.0),
+                SwitchFailure(switch=1, time=2.0),
+                PartitionFault(nodes=(2, 3), start=1.0, duration=6.0),
+                CorruptionFault(target="checkpoint", prob=0.25),
+            ),
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.to_json() == plan.to_json()
+
+
+class TestTopology:
+    TOPO = Topology(num_nodes=4, gpus_per_node=4, nodes_per_switch=2)
+
+    def test_addressing(self):
+        topo = self.TOPO
+        assert topo.num_ranks == 16 and topo.num_switches == 2
+        assert topo.node_of_rank(5) == 1
+        assert topo.switch_of_rank(5) == 0
+        assert topo.switch_of_rank(9) == 1
+        assert topo.ranks_of_node(2) == (8, 9, 10, 11)
+        assert topo.nodes_behind_switch(1) == (2, 3)
+        assert topo.ranks_behind_switch(1) == tuple(range(8, 16))
+
+    def test_ragged_last_switch(self):
+        topo = Topology(num_nodes=3, nodes_per_switch=2)
+        assert topo.num_switches == 2
+        assert topo.nodes_behind_switch(1) == (2,)
+
+    def test_from_spec_matches_cluster_shape(self):
+        topo = Topology.from_spec(LASSEN, num_nodes=4)
+        assert topo.gpus_per_node == LASSEN.node.gpus_per_node
+        assert topo.nodes_per_switch == LASSEN.nodes_per_switch
+
+    def test_node_failure_lowers_to_whole_node(self):
+        plan = FaultPlan(faults=(NodeFailure(node=1, time=2.0, down_s=3.0),))
+        lowered = lower_domain_faults(plan, self.TOPO)
+        assert [e.rank for e in lowered] == [4, 5, 6, 7]
+        assert all(e.domain == "node:1" for e in lowered)
+        assert all(e.time == 2.0 and e.down_s == 3.0 for e in lowered)
+
+    def test_switch_failure_lowers_to_every_node_behind_it(self):
+        plan = FaultPlan(faults=(SwitchFailure(switch=1, time=1.0),))
+        lowered = lower_domain_faults(plan, self.TOPO)
+        assert [e.rank for e in lowered] == list(range(8, 16))
+        assert all(e.domain == "switch:1" for e in lowered)
+
+    def test_partition_lowers_the_island_only(self):
+        plan = FaultPlan(faults=(
+            PartitionFault(nodes=(3,), start=1.0, duration=5.0),))
+        lowered = lower_domain_faults(plan, self.TOPO)
+        assert [e.rank for e in lowered] == [12, 13, 14, 15]
+        assert all(e.domain == "partition:0" for e in lowered)
+        assert all(e.down_s == 5.0 for e in lowered)  # heals with the window
+
+    def test_earliest_failure_wins_overlapping_claims(self):
+        # rank 4 is claimed by its node (t=2.0) and an independent failure
+        # (t=1.0): survivors observe the earlier one
+        plan = FaultPlan(faults=(
+            NodeFailure(node=1, time=2.0),
+            RankFailure(rank=4, time=1.0),
+        ))
+        lowered = {e.rank: e for e in lower_domain_faults(plan, self.TOPO)}
+        assert lowered[4].time == 1.0 and lowered[4].domain == ""
+        assert lowered[5].time == 2.0 and lowered[5].domain == "node:1"
+
+    def test_out_of_range_domains_rejected(self):
+        with pytest.raises(FaultPlanError, match="outside"):
+            lower_domain_faults(
+                FaultPlan(faults=(NodeFailure(node=9),)), self.TOPO)
+        with pytest.raises(FaultPlanError, match="outside"):
+            lower_domain_faults(
+                FaultPlan(faults=(SwitchFailure(switch=2),)), self.TOPO)
+        with pytest.raises(FaultPlanError, match="outside"):
+            lower_domain_faults(
+                FaultPlan(faults=(PartitionFault(nodes=(7,)),)), self.TOPO)
+
+    def test_switch_carrying_every_node_rejected(self):
+        topo = Topology(num_nodes=2, nodes_per_switch=2)
+        with pytest.raises(FaultPlanError, match="surviving side"):
+            lower_domain_faults(
+                FaultPlan(faults=(SwitchFailure(switch=0),)), topo)
+
+    def test_injector_requires_topology_for_domain_faults(self):
+        plan = FaultPlan(faults=(NodeFailure(node=0),))
+        with pytest.raises(FaultPlanError, match="topology"):
+            FaultInjector(plan)
+        inj = FaultInjector(plan, topology=self.TOPO)
+        assert inj.failed_ranks(1.0) == {0, 1, 2, 3}
+        assert inj.domain_of(2) == "node:0"
+
+
+class TestSeveredPaths:
+    TOPO = Topology(num_nodes=4, gpus_per_node=4, nodes_per_switch=2)
+
+    def test_partition_severs_only_the_cut(self):
+        plan = FaultPlan(faults=(
+            PartitionFault(nodes=(2, 3), start=1.0, duration=4.0),))
+        inj = FaultInjector(plan, topology=self.TOPO)
+        assert not inj.path_severed(0, 8, 0.5)   # before the window
+        assert inj.path_severed(0, 8, 2.0)       # across the cut
+        assert inj.path_severed(8, 0, 2.0)       # symmetric
+        assert not inj.path_severed(8, 12, 2.0)  # island-internal fabric
+        assert not inj.path_severed(0, 4, 2.0)   # surviving side untouched
+        assert not inj.path_severed(0, 8, 5.0)   # healed
+
+    def test_switch_outage_severs_inter_node_paths_behind_it(self):
+        plan = FaultPlan(faults=(SwitchFailure(switch=1, time=1.0),))
+        inj = FaultInjector(plan, topology=self.TOPO)
+        assert inj.path_severed(0, 8, 2.0)       # into the dead switch
+        assert inj.path_severed(8, 12, 2.0)      # node 2 <-> node 3 via TOR
+        assert not inj.path_severed(8, 9, 2.0)   # same node rides NVLink
+        assert not inj.path_severed(0, 4, 2.0)   # healthy switch
+
+    def test_severed_message_exhausts_ladder_with_typed_error(self):
+        plan = FaultPlan(seed=1, faults=(
+            PartitionFault(nodes=(1,), start=0.0, duration=None),))
+        topo = Topology(num_nodes=2, gpus_per_node=4, nodes_per_switch=1)
+        retry = RetryPolicy(max_retries=2, ack_timeout_s=1e-4,
+                            base_backoff_s=1e-4)
+        env, fabric, inj = make_fabric(
+            plan, retry=retry, num_nodes=2, topology=topo)
+        fabric.isend(0, 4, nbytes=256)  # crosses the cut
+        fabric.irecv(4, source=0, nbytes=256)
+        with pytest.raises(MpiTimeoutError, match="severed"):
+            env.run()
+        assert inj.trace.count("msg-severed") >= 1
+        assert inj.trace.count("msg-timeout") == 1
+
+    def test_severed_verdict_does_not_consume_drop_stream(self):
+        """Topology verdicts are deterministic: consulting a severed path
+        must not advance the seeded probabilistic drop sequence."""
+        plan = FaultPlan(seed=7, faults=(
+            PartitionFault(nodes=(1,), start=0.0, duration=None),
+            MessageFault(src=0, dst=1, drop_prob=0.5),
+        ))
+        topo = Topology(num_nodes=2, gpus_per_node=4, nodes_per_switch=1)
+        inj = FaultInjector(plan, topology=topo)
+        baseline = FaultInjector(
+            FaultPlan(seed=7, faults=(MessageFault(src=0, dst=1,
+                                                   drop_prob=0.5),)))
+        for _ in range(8):
+            inj.message_verdict(0, 4, 1.0)  # severed: no roll consumed
+        rolls = [inj.message_verdict(0, 1, 1.0).drop for _ in range(16)]
+        expected = [baseline.message_verdict(0, 1, 1.0).drop
+                    for _ in range(16)]
+        assert rolls == expected
+
+
+class TestWireCorruption:
+    def test_corrupt_message_detected_retransmitted_and_paired(self):
+        plan = FaultPlan(seed=2, faults=(
+            CorruptionFault(target="wire", prob=1.0, start=0.0,
+                            duration=1e-3),))
+        env, fabric, inj = make_fabric(plan, retry=RetryPolicy(max_retries=8))
+        payload = np.arange(64, dtype=np.float32)
+        out = np.zeros(64, dtype=np.float32)
+        fabric.isend(0, 1, data=payload)
+        fabric.irecv(1, source=0, out=out)
+        env.run()
+        np.testing.assert_array_equal(out, payload)  # delivered intact
+        assert inj.trace.count("wire-corrupt") >= 1
+        # the chaos invariant: every corruption caught by a CRC check
+        assert inj.trace.count("wire-corrupt") == inj.trace.count("crc-detected")
+
+    def test_unbounded_corruption_exhausts_retry_budget(self):
+        plan = FaultPlan(seed=2, faults=(
+            CorruptionFault(target="wire", prob=1.0),))
+        env, fabric, inj = make_fabric(plan, retry=RetryPolicy(
+            max_retries=3, ack_timeout_s=1e-4, base_backoff_s=1e-4))
+        fabric.isend(0, 1, nbytes=256)
+        fabric.irecv(1, source=0, nbytes=256)
+        with pytest.raises(MpiTimeoutError):
+            env.run()
+        assert inj.trace.count("wire-corrupt") == 4  # initial + 3 retries
+
+    def test_corruption_rolls_are_seeded(self):
+        def verdicts(seed):
+            inj = FaultInjector(FaultPlan(seed=seed, faults=(
+                CorruptionFault(target="wire", prob=0.5),)))
+            return [inj.corruption_verdict(0, 1, 0.0) for _ in range(32)]
+
+        assert verdicts(5) == verdicts(5)
+        assert verdicts(5) != verdicts(6)
+
+    def test_wire_corruption_active_tracks_windows(self):
+        inj = FaultInjector(FaultPlan(faults=(
+            CorruptionFault(target="wire", prob=0.1, start=1.0,
+                            duration=2.0),)))
+        assert not inj.wire_corruption_active(0.5)
+        assert inj.wire_corruption_active(1.0)
+        assert not inj.wire_corruption_active(3.0)  # end-exclusive
+
+    def test_checkpoint_corruption_keyed_by_save_index(self):
+        inj = FaultInjector(FaultPlan(seed=4, faults=(
+            CorruptionFault(target="checkpoint", prob=0.5),)))
+        first = [inj.checkpoint_corrupt(i, 0.0) for i in range(16)]
+        again = [inj.checkpoint_corrupt(i, 0.0) for i in range(16)]
+        assert first == again  # pure in save_index, not call order
+        assert any(first) and not all(first)

@@ -484,3 +484,125 @@ class TestStudyRecovery:
             StudyConfig(warmup_steps=1, measure_steps=6),
         ).run_point(8)
         assert point.resilience is None
+
+
+class TestSingleSlotCheckpoints:
+    """keep_last=1 has no older snapshot to fall back to: a torn write of
+    the only slot must surface a typed error, never a silent restart from
+    garbage."""
+
+    def _save(self, manager, steps):
+        model = tiny_model()
+        opt = Adam(model.parameters(), lr=1e-2)
+        take_steps(model, opt, max(steps, 1))
+        return manager.save(model, steps_completed=steps, optimizer=opt)
+
+    def test_torn_write_of_only_slot_raises_typed_error(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path),
+                                    CheckpointPolicy(keep_last=1))
+        self._save(manager, 5)
+        newest, _ = self._save(manager, 10)  # rotation evicted step 5
+        assert [s for s, _ in manager.available()] == [10]
+        data = open(newest, "rb").read()
+        with open(newest, "wb") as fh:  # crash mid-write
+            fh.write(data[: len(data) // 2])
+        assert manager.latest_valid() is None
+        with pytest.raises(CheckpointError):
+            manager.restore(tiny_model(seed=2))
+
+    def test_intact_single_slot_still_restores(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path),
+                                    CheckpointPolicy(keep_last=1))
+        self._save(manager, 5)
+        self._save(manager, 10)
+        steps, _ = manager.latest_valid()
+        assert steps == 10
+
+
+class TestCorrelatedRecovery:
+    """Whole-node failures through the elastic trainer: atomic domain
+    detection, and a regrow that resets error-feedback state for every
+    rank the node took down."""
+
+    def make_node_trainer(self, plan, policy):
+        from repro.compression import CompressionConfig
+        from repro.faults import NodeFailure, Topology  # noqa: F401
+
+        topology = Topology(num_nodes=2)  # 8 ranks, 4 per node
+        cluster = Cluster(Environment(), LASSEN, num_nodes=2)
+        spec = WorldSpec(num_ranks=8, policy=SingletonDevicePolicy(),
+                         config=Mv2Config(mv2_visible_devices="all",
+                                          registration_cache=True))
+        injector = FaultInjector(plan, topology=topology)
+        world = MpiWorld(cluster, spec, faults=injector)
+        engine = HorovodEngine(
+            world.communicator(), HorovodConfig(cycle_time_s=2e-3),
+            compression=CompressionConfig.parse("topk:0.25"),
+        )
+        dataset = SRDataset(SyntheticDiv2k(height=24, width=24, seed=7),
+                            split="train",
+                            degradation=DegradationConfig(scale=2))
+        trainer = DistributedTrainer(
+            lambda rank: EDSR(EDSR_TINY, rng=np.random.default_rng(50 + rank)),
+            engine,
+            dataset,
+            batch_per_rank=1,
+            lr_patch=8,
+            faults=injector,
+            recovery=policy,
+        )
+        return trainer, injector, engine
+
+    def test_node_failure_declared_in_one_detection_window(self):
+        from repro.faults import NodeFailure
+
+        plan = FaultPlan(seed=9, faults=[NodeFailure(node=1, time=2.0)])
+        trainer, injector, _ = self.make_node_trainer(plan, SHRINK_CONTINUE)
+        result = trainer.train(10)
+        assert result.world_sizes[0] == 8 and result.world_sizes[-1] == 4
+        # the whole domain is declared atomically: one stall, one
+        # domain-dead event — not four staggered watchdog windows
+        assert result.resilience.detections == 1
+        assert injector.trace.count("domain-dead") == 1
+        assert injector.trace.count("rank-dead") == 4
+
+    def test_supervisor_groups_domain_members(self):
+        from repro.faults import NodeFailure, Topology
+        from repro.resilience import HeartbeatSupervisor
+
+        plan = FaultPlan(faults=[NodeFailure(node=1, time=1.0)])
+        inj = FaultInjector(plan, topology=Topology(num_nodes=2))
+        sup = HeartbeatSupervisor(range(8), inj)
+        (group,) = sup.poll_domains(2.0)
+        assert group.domain == "node:1"
+        assert group.ranks == (4, 5, 6, 7)
+        assert group.fail_time == 1.0
+        assert sup.poll_domains(3.0) == []  # no re-declaration
+        assert sup.active == [0, 1, 2, 3]
+
+    def test_node_regrow_resets_residuals_for_every_recovered_rank(self):
+        from repro.faults import NodeFailure
+
+        plan = FaultPlan(seed=9,
+                         faults=[NodeFailure(node=1, time=2.0, down_s=4.0)])
+        policy = RecoveryPolicy(restart=True, regrow=True,
+                                checkpoint=CheckpointPolicy(interval_steps=3))
+        trainer, injector, engine = self.make_node_trainer(plan, policy)
+        cleared = []
+        original = engine.drop_compression_state
+
+        def spy(rank):
+            cleared.append(rank)
+            return original(rank)
+
+        engine.drop_compression_state = spy
+        result = trainer.train(16)
+        assert result.resilience.regrown_ranks == [4, 5, 6, 7]
+        assert min(result.world_sizes) == 4
+        assert result.world_sizes[-1] == 8
+        assert injector.trace.count("rank-regrown") == 4
+        # every lost rank had its top-k residuals dropped twice: once when
+        # the node died, once on re-admission (stale feedback never leaks)
+        for rank in (4, 5, 6, 7):
+            assert cleared.count(rank) >= 2
+        assert trainer.replicas_in_sync()

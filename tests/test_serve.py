@@ -429,10 +429,10 @@ class TestSweep:
 
     def test_serve_digest_never_aliases_training(self):
         # serving preimages are keyed "serve-point"; the training sweeps
-        # use "scaling-point" — plus the v6 salt guards stale v5 caches
-        # (v6: compression/local-SGD joined the study config and
-        # collective pricing became dtype-aware)
-        assert CACHE_VERSION_SALT == "repro-perf-v6"
+        # use "scaling-point" — plus the v7 salt guards stale v6 caches
+        # (v7: correlated faults, CRC corruption surcharges, and chaos
+        # campaign payloads changed what a cached point contains)
+        assert CACHE_VERSION_SALT == "repro-perf-v7"
         from repro.perf.digest import canonical_json
 
         job = ServeJob(ServeScenario(), duration_s=5.0, seed=7)
