@@ -9,6 +9,7 @@ Thin wrappers over the library for the common reproduction workflows:
 * ``python -m repro models``
 * ``python -m repro cache stats``
 * ``python -m repro resilience --gpus 8 --fail 3@2.0 --report report.json``
+* ``python -m repro hybrid plan --ranks 8192``
 
 ``--profile`` (before the subcommand) wraps any of them in cProfile and
 prints the top cumulative-time entries; sweep results go through the
@@ -59,15 +60,22 @@ def _add_engine_mode(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_scale(args: argparse.Namespace) -> int:
+    from repro.parallel import ParallelLayout
+
     scenario = scenario_by_name(args.scenario)
     gpu_counts = [int(g) for g in args.gpus.split(",")]
     # the measurement window must cover at least one local-SGD period
     measure_steps = max(args.steps, args.local_sgd)
+    layout = ParallelLayout(
+        tp=args.tp, pp=args.pp,
+        microbatches=args.microbatches, schedule=args.schedule,
+    )
     study = ScalingStudy(scenario, StudyConfig(measure_steps=measure_steps,
                                                model=args.model,
                                                engine_mode=args.engine_mode,
                                                compression=args.compression,
-                                               local_sgd_h=args.local_sgd))
+                                               local_sgd_h=args.local_sgd,
+                                               layout=layout))
     cache = _make_cache(args)
     points = study.run(gpu_counts, jobs=args.jobs, cache=cache)
     table = TextTable(
@@ -374,6 +382,78 @@ def cmd_comm(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_hybrid(args: argparse.Namespace) -> int:
+    """``hybrid plan`` — rank (dp, tp, pp) layouts for a target world."""
+    import json
+
+    from repro.parallel.planner import PlannerConfig, plan_hybrid
+
+    config = PlannerConfig(
+        ranks=args.ranks,
+        scenario=args.scenario,
+        model=args.model,
+        batch_per_gpu=args.batch,
+        engine_mode=args.engine_mode,
+        max_tp=args.max_tp,
+        max_pp=args.max_pp,
+        microbatches=tuple(int(m) for m in args.microbatches.split(",")),
+        fusion_mib=(
+            tuple(int(f) for f in args.fusion_mib.split(","))
+            if args.fusion_mib else ()
+        ),
+        schedules=tuple(args.schedules.split(",")),
+        use_tuned_tables=args.tuned,
+    )
+    cache = _make_cache(args)
+    report = plan_hybrid(config, jobs=args.jobs, cache=cache)
+
+    table = TextTable(
+        ["#", "dp", "tp", "pp", "mb", "sched", "table", "step (ms)",
+         "images/s", "bubble", "train (s)"],
+        title=(
+            f"Hybrid plan — {args.ranks} ranks, {args.scenario} "
+            f"({args.model}, {config.engine_mode})"
+        ),
+    )
+    for rank, row in enumerate(report["points"][: args.top], start=1):
+        table.add_row(
+            rank, row["dp"], row["tp"], row["pp"], row["microbatches"],
+            row["schedule"], row["table"],
+            f"{row['step_time'] * 1e3:.2f}",
+            f"{row['images_per_second']:.0f}",
+            f"{row['bubble_fraction']:.0%}",
+            f"{row['time_to_train_s']:.1f}",
+        )
+    print(table.render())
+    if report["infeasible"]:
+        print(f"{len(report['infeasible'])} layout(s) infeasible "
+              f"(simulated OOM); see --report for reasons")
+    best = report["best"]
+    print(
+        f"recommended layout: dp={best['dp']} tp={best['tp']} pp={best['pp']} "
+        f"microbatches={best['microbatches']} ({best['schedule']}, "
+        f"{best['table']} table) — step {best['step_time'] * 1e3:.2f} ms"
+    )
+    if report["hybrid_speedup"] is not None:
+        print(
+            f"best hybrid vs best pure-dp: "
+            f"{report['hybrid_speedup']:.3f}x on simulated time-to-train"
+        )
+    print(f"plan digest: {report['digest']}")
+    if cache.enabled:
+        stats = cache.stats()
+        print(
+            f"result cache: {stats['hits']} hit(s), {stats['misses']} "
+            f"miss(es) ({cache.directory})"
+        )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"plan report written to {args.report}")
+    return 0
+
+
 def cmd_diagnose(args: argparse.Namespace) -> int:
     report = OptimizationPipeline(num_gpus=args.gpus, steps=args.steps).run()
     print(report.table())
@@ -483,6 +563,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="local-SGD sync period: H-1 communication-free "
                             "steps between parameter-averaging syncs "
                             "(1 = synchronous SGD)")
+    scale.add_argument("--tp", type=int, default=1,
+                       help="tensor-parallel degree (dp is derived; "
+                            "see docs/parallelism.md)")
+    scale.add_argument("--pp", type=int, default=1,
+                       help="pipeline-parallel depth")
+    scale.add_argument("--microbatches", type=int, default=1,
+                       help="microbatch count per pipeline replica "
+                            "(requires --pp > 1)")
+    scale.add_argument("--schedule", default="1f1b",
+                       choices=["1f1b", "gpipe"],
+                       help="pipeline schedule (differ only in live-"
+                            "activation memory)")
     _add_engine_mode(scale)
     scale.set_defaults(func=cmd_scale)
 
@@ -633,6 +725,50 @@ def build_parser() -> argparse.ArgumentParser:
     comm.add_argument("--no-cache", action="store_true")
     comm.add_argument("--cache-dir", default=None)
     comm.set_defaults(func=cmd_comm)
+
+    hybrid = sub.add_parser(
+        "hybrid",
+        help="plan a hybrid (dp x tp x pp) layout for a target world size",
+    )
+    hybrid.add_argument("hybrid_command", choices=["plan"],
+                        nargs="?", default="plan")
+    hybrid.add_argument("--ranks", type=int, default=8192,
+                        help="target world size (simulated GPUs)")
+    hybrid.add_argument("--scenario", default="MPI-Opt",
+                        choices=[s.name for s in SCENARIOS])
+    hybrid.add_argument("--model", default="edsr-paper")
+    hybrid.add_argument("--batch", type=int, default=4,
+                        help="per-GPU training batch size")
+    hybrid.add_argument("--max-tp", type=int, default=0,
+                        help="largest tensor-parallel degree to consider "
+                             "(0 = the node's GPU count)")
+    hybrid.add_argument("--max-pp", type=int, default=4,
+                        help="largest pipeline depth to consider")
+    hybrid.add_argument("--microbatches", default="2,4,8,16",
+                        help="comma-separated microbatch counts for "
+                             "pipelined layouts")
+    hybrid.add_argument("--fusion-mib", default=None,
+                        help="extra Horovod fusion-threshold variants to "
+                             "price (comma-separated MiB)")
+    hybrid.add_argument("--schedules", default="1f1b",
+                        help="pipeline schedules to price (1f1b, gpipe)")
+    hybrid.add_argument("--tuned", action="store_true",
+                        help="also price every layout under a tuned comm "
+                             "selection table (comm tune)")
+    hybrid.add_argument("--top", type=int, default=10,
+                        help="ranked layouts to print")
+    hybrid.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for candidate pricing")
+    hybrid.add_argument("--no-cache", action="store_true")
+    hybrid.add_argument("--cache-dir", default=None)
+    hybrid.add_argument("--report", default=None, metavar="PATH",
+                        help="write the full JSON plan report to this path")
+    _add_engine_mode(hybrid)
+    # planning sweeps dozens of multi-thousand-rank points; the fast engine
+    # is bit-identical to exact (pinned by the equivalence suite), so it is
+    # the default here — --exact opts into the full schedule walk
+    hybrid.set_defaults(engine_mode="fast")
+    hybrid.set_defaults(func=cmd_hybrid)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("cache_command", choices=["stats", "clear"],

@@ -223,6 +223,38 @@ class HierarchicalCommunicator:
                 )
         return segments
 
+    def _reduce_scatter_segments(self, nbytes_per_rank: int) -> dict[str, float]:
+        """Two-level reduce-scatter: the time-reverse of the allgather.
+
+        Combine the remote portions node-locally, exchange reduced partials
+        over the leader ring, then scatter each rank's shard off the leader
+        — the same bytes as :meth:`_allgather_segments` traverse the same
+        links in the opposite direction, so the envelope is symmetric (the
+        standard allgather/reduce-scatter duality).
+        """
+        groups = self._node_groups()
+        g = max(len(grp) for grp in groups)
+        nodes = len(groups)
+        nv_bw, nv_alpha, ib_bw, ib_alpha = self._link_env(self.total_comm_time)
+        segments: dict[str, float] = {}
+        if nodes > 1:
+            remote = (nodes - 1) * g * nbytes_per_rank
+            if g > 1:
+                segments["intra_reduce"] = (
+                    math.ceil(math.log2(g)) * nv_alpha + remote / nv_bw
+                )
+            inter = (
+                (nodes - 1) * ib_alpha
+                + (nodes - 1) * g * nbytes_per_rank / ib_bw
+            )
+            inter += self._message_delay(groups, self.total_comm_time, ib_bw, ib_alpha)
+            segments["inter_reduce_scatter"] = inter
+        if g > 1:
+            segments["intra_scatter"] = (
+                (g - 1) * nv_alpha + (g - 1) * nbytes_per_rank / nv_bw
+            )
+        return segments
+
     def _bcast_segments(self, nbytes: int) -> dict[str, float]:
         groups = self._node_groups()
         g = max(len(grp) for grp in groups)
@@ -314,6 +346,48 @@ class HierarchicalCommunicator:
         )
         self._notify(timing)
         return gathered, timing
+
+    def reduce_scatter(
+        self, buffers: Sequence[GpuBuffer], op: ReduceOp = ReduceOp.SUM
+    ) -> tuple[list | None, CollectiveTiming]:
+        """Reduce every rank's full vector, scatter one shard per rank.
+
+        Each buffer holds the full input vector; the timing covers each
+        rank ending with its ``nbytes / size`` reduced shard (the dual of
+        :meth:`allgather`, and the collective tensor parallelism uses to
+        combine sharded activation gradients).
+        """
+        nbytes = self._validate(buffers)
+        if self.size > 1 and nbytes % self.size:
+            raise CommError(
+                f"reduce_scatter needs nbytes divisible by {self.size} "
+                f"ranks, got {nbytes}"
+            )
+        datas = [b.data for b in buffers]
+        scattered = None
+        if all(d is not None for d in datas) and self.size > 0:
+            import numpy as np
+
+            reduced = op.reduce([d for d in datas])
+            if reduced.size % self.size == 0:
+                scattered = [c.copy() for c in np.split(reduced, self.size)]
+        per_rank = nbytes // self.size if self.size else nbytes
+        segments = (
+            self._reduce_scatter_segments(per_rank)
+            if self.size > 1 and nbytes > 0
+            else {}
+        )
+        timing = CollectiveTiming(
+            "reduce_scatter",
+            ALGORITHM,
+            per_rank,
+            self.size,
+            sum(segments.values()),
+            ExecutionMode.ANALYTIC,
+            segments,
+        )
+        self._notify(timing)
+        return scattered, timing
 
     def bcast(
         self, buffers: Sequence[GpuBuffer], *, root_index: int = 0

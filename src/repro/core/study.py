@@ -37,6 +37,7 @@ from repro.horovod.backend import build_backend
 from repro.models.costing import ModelCostModel, ThroughputModel, TrainingMemoryModel
 from repro.models.registry import get_model_cost
 from repro.mpi.process import WorldSpec
+from repro.parallel.layout import ParallelLayout
 from repro.profiling.hvprof import Hvprof
 from repro.utils.seeding import SeedSequenceFactory
 
@@ -83,6 +84,12 @@ class StudyConfig:
     # every step); H > 1 runs H-1 communication-free local steps between
     # parameter-averaging syncs.
     local_sgd_h: int = 1
+    # Parallel layout: the default is pure data parallelism (dp = world
+    # size).  Any tp/pp/microbatching routes the point through the hybrid
+    # executor (repro.parallel); layouts fold into point digests like any
+    # other config field, so dp-only and hybrid points never share cache
+    # entries.
+    layout: ParallelLayout = ParallelLayout()
 
     def __post_init__(self) -> None:
         if self.batch_per_gpu < 1:
@@ -107,6 +114,15 @@ class StudyConfig:
             raise ConfigError(
                 f"measure_steps ({self.measure_steps}) must cover at least "
                 f"one local-SGD period (local_sgd_h={self.local_sgd_h})"
+            )
+        if not isinstance(self.layout, ParallelLayout):
+            raise ConfigError(
+                f"layout must be a ParallelLayout, got {self.layout!r}"
+            )
+        if not self.layout.is_pure_dp and self.local_sgd_h > 1:
+            raise ConfigError(
+                "hybrid (tp/pp) layouts do not compose with local-SGD "
+                f"(local_sgd_h={self.local_sgd_h}); run one or the other"
             )
         CompressionConfig.parse(self.compression)  # raises ConfigError
 
@@ -137,6 +153,10 @@ class ScalingPoint:
     # time-to-solution ledger (RecoveryAccounting payload) plus the
     # world-size trajectory and fault-trace digest.  None for clean runs.
     resilience: dict | None = None
+    # Hybrid-layout decomposition (dp/tp/pp, bubble fraction, tp/pp comm
+    # shares, stage bounds) for points the hybrid executor priced; None
+    # for pure data-parallel points.
+    parallelism: dict | None = None
 
     @property
     def per_gpu_rate(self) -> float:
@@ -168,6 +188,9 @@ class ScalingStudy:
         self.cost: ModelCostModel = get_model_cost(self.config.model)
         self.throughput = ThroughputModel(self.cost, self.config.cluster.node.gpu)
         self.memory = TrainingMemoryModel(self.cost)
+        # lazily-built hybrid executor; shared across this study's points
+        # so its steady-state detector can guard layout changes mid-sweep
+        self._hybrid = None
 
     def batch_for(self, num_gpus: int) -> int:
         """Per-GPU batch at this scale (weak: constant; strong: shrinking)."""
@@ -316,6 +339,19 @@ class ScalingStudy:
     def _run_point(
         self, num_gpus: int, *, hvprof: Hvprof | None = None
     ) -> ScalingPoint:
+        if not self.config.layout.is_pure_dp:
+            if self.fault_plan is not None:
+                raise ConfigError(
+                    "hybrid (tp/pp) layouts do not support fault plans yet; "
+                    "run the resilience study data-parallel"
+                )
+            if self._hybrid is None:
+                from repro.parallel.executor import HybridExecutor
+
+                self._hybrid = HybridExecutor(self)
+            return self._hybrid.run(
+                num_gpus, self.config.layout, hvprof=hvprof
+            )
         if self.fault_plan is not None and num_gpus > 1:
             return self._run_point_faulty(num_gpus, hvprof=hvprof)
         cfg = self.config

@@ -34,6 +34,10 @@ class LayerCost:
     flops_forward: float
     activation_bytes: int
     bias_params: int = 0
+    # Output channels (feature width).  Tensor parallelism shards a layer
+    # along this dimension, so a layer is tp-shardable iff ``tp`` divides
+    # ``cout``; 0 marks layers with no channel structure (never sharded).
+    cout: int = 0
 
     @property
     def param_bytes(self) -> int:
@@ -65,12 +69,14 @@ def _conv_cost(
     params = cout * cin * k * k + (cout if bias else 0)
     flops = 2.0 * h * w * cin * cout * k * k
     act = h * w * cout * 4
-    return LayerCost(name, params, flops, act, bias_params=cout if bias else 0)
+    return LayerCost(
+        name, params, flops, act, bias_params=cout if bias else 0, cout=cout
+    )
 
 
 def _linear_cost(name: str, cin: int, cout: int) -> LayerCost:
     return LayerCost(name, cin * cout + cout, 2.0 * cin * cout, cout * 4,
-                     bias_params=cout)
+                     bias_params=cout, cout=cout)
 
 
 class ModelCostModel:

@@ -15,6 +15,7 @@ from repro.mpi.collectives.allreduce import (
 from repro.mpi.collectives.bcast import bcast_timing
 from repro.mpi.collectives.allgather import allgather_timing
 from repro.mpi.collectives.reduce import reduce_timing
+from repro.mpi.collectives.reduce_scatter import reduce_scatter_timing
 from repro.mpi.collectives.barrier import barrier_timing
 from repro.mpi.collectives.gather import (
     alltoall_timing,
@@ -31,6 +32,7 @@ __all__ = [
     "bcast_timing",
     "allgather_timing",
     "reduce_timing",
+    "reduce_scatter_timing",
     "barrier_timing",
     "gather_timing",
     "scatter_timing",

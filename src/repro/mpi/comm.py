@@ -28,6 +28,7 @@ from repro.mpi.collectives import (
     barrier_timing,
     bcast_timing,
     gather_timing,
+    reduce_scatter_timing,
     reduce_timing,
     scatter_timing,
 )
@@ -292,6 +293,38 @@ class Communicator:
         )
         self._notify(timing)
         return gathered, timing
+
+    def reduce_scatter(
+        self, buffers: Sequence[GpuBuffer], op: ReduceOp = ReduceOp.SUM
+    ) -> tuple[list[np.ndarray] | None, CollectiveTiming]:
+        """Reduce every rank's full vector, scatter one shard per rank.
+
+        Each buffer holds the full input; rank i ends with the i-th
+        ``nbytes / size`` shard of the element-wise reduction (the
+        reduce-scatter phase of the ring allreduce run standalone).
+        """
+        nbytes = self._validate(buffers)
+        if self.size > 1 and nbytes % self.size:
+            raise MpiError(
+                f"reduce_scatter needs nbytes divisible by {self.size} "
+                f"ranks, got {nbytes}"
+            )
+        self._begin()
+        datas = [b.data for b in buffers]
+        scattered = None
+        if all(d is not None for d in datas):
+            reduced = op.reduce([d for d in datas])
+            if self.size and reduced.size % self.size == 0:
+                scattered = [c.copy() for c in np.split(reduced, self.size)]
+        timing = reduce_scatter_timing(
+            self.world.coster,
+            self.ranks,
+            nbytes // self.size if self.size else nbytes,
+            buffer_ids=self._buffer_ids(buffers),
+            dtype_bytes=buffers[0].dtype.size,
+        )
+        self._notify(timing)
+        return scattered, timing
 
     def reduce(
         self,

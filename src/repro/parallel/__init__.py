@@ -1,0 +1,30 @@
+"""Hybrid (dp x tp x pp) parallelism on the simulation engine.
+
+``layout`` describes and validates a parallel layout, ``partition`` shards
+the per-layer cost model for it, ``executor`` prices hybrid steps on the
+engine, and ``planner`` searches the layout space for a target world size
+(``python -m repro hybrid plan``).
+
+Only the dependency-free layout/partition surface is re-exported here:
+``repro.core.study`` imports :class:`ParallelLayout` at module level, so
+pulling the executor or planner (which import the study machinery) into
+this package's import would cycle.  Import them as submodules.
+"""
+
+from repro.parallel.layout import SCHEDULES, ParallelLayout, model_width
+from repro.parallel.partition import (
+    StageShard,
+    shard_layer,
+    split_stage_bounds,
+    stage_models,
+)
+
+__all__ = [
+    "SCHEDULES",
+    "ParallelLayout",
+    "model_width",
+    "StageShard",
+    "shard_layer",
+    "split_stage_bounds",
+    "stage_models",
+]

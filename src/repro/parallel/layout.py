@@ -1,0 +1,153 @@
+"""The (dp, tp, pp) parallel layout descriptor and its validity rules.
+
+A layout places ``dp * tp * pp`` ranks on the cluster:
+
+* ``tp`` ranks shard every channel-structured layer's output channels
+  (Megatron-style) and exchange activations over NVLink via the
+  hierarchical backend;
+* ``pp`` stages split the layer list contiguously and exchange
+  activation/gradient point-to-point transfers over IB, with the batch cut
+  into ``microbatches`` pipeline slots (GPipe or 1F1B ordering);
+* ``dp`` replicas of that (tp x pp) grid run Horovod data parallelism
+  exactly as the pure data-parallel path does.
+
+``dp == 0`` means "derive from the world size" so one
+:class:`~repro.core.study.StudyConfig` can sweep GPU counts; the planner
+always pins dp explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+#: pipeline schedules the executor understands.  Both fill and drain the
+#: same (microbatches + pp - 1) slots, so their wall time is identical in
+#: this model; they differ in live-activation memory (GPipe holds every
+#: microbatch, 1F1B at most ``pp``).
+SCHEDULES = ("1f1b", "gpipe")
+
+
+def model_width(cost) -> int:
+    """The model's feature width: the widest channel-structured layer.
+
+    Tensor parallelism must divide this cleanly (every shardable layer's
+    ``cout`` is a multiple of the width's divisors in the paper models, and
+    the per-layer check in :func:`repro.parallel.partition.shard_layer`
+    still guards stragglers).
+    """
+    return max((layer.cout for layer in cost.layers), default=0)
+
+
+@dataclass(frozen=True)
+class ParallelLayout:
+    """One point in the (dp, tp, pp, microbatches, schedule) space."""
+
+    dp: int = 0  # 0 = derive from the world size at run time
+    tp: int = 1
+    pp: int = 1
+    microbatches: int = 1
+    schedule: str = "1f1b"
+
+    def __post_init__(self) -> None:
+        if self.dp < 0:
+            raise ConfigError(f"dp must be >= 0 (0 = auto), got {self.dp}")
+        if self.tp < 1:
+            raise ConfigError(f"tp must be >= 1, got {self.tp}")
+        if self.pp < 1:
+            raise ConfigError(f"pp must be >= 1, got {self.pp}")
+        if self.microbatches < 1:
+            raise ConfigError(
+                f"microbatches must be >= 1, got {self.microbatches}"
+            )
+        if self.schedule not in SCHEDULES:
+            raise ConfigError(
+                f"schedule must be one of {SCHEDULES}, got {self.schedule!r}"
+            )
+        if self.pp == 1 and self.microbatches > 1:
+            raise ConfigError(
+                f"microbatches={self.microbatches} without pipeline stages "
+                f"(pp=1) only adds launch overhead; raise pp or drop "
+                f"microbatching"
+            )
+
+    @property
+    def is_pure_dp(self) -> bool:
+        """True when the layout degenerates to the data-parallel path."""
+        return self.tp == 1 and self.pp == 1 and self.microbatches == 1
+
+    @property
+    def model_parallel_size(self) -> int:
+        """Ranks holding one model replica (the tp x pp footprint)."""
+        return self.tp * self.pp
+
+    # -- validity ------------------------------------------------------------
+    def resolved(self, num_gpus: int) -> "ParallelLayout":
+        """A concrete layout for ``num_gpus`` ranks (dp pinned).
+
+        Raises :class:`ConfigError` when the product cannot tile the
+        world: dp * tp * pp must equal the world size exactly.
+        """
+        fp = self.model_parallel_size
+        if self.dp == 0:
+            if num_gpus % fp:
+                raise ConfigError(
+                    f"tp*pp = {self.tp}*{self.pp} = {fp} does not divide "
+                    f"world size {num_gpus}"
+                )
+            return replace(self, dp=num_gpus // fp)
+        if self.dp * fp != num_gpus:
+            raise ConfigError(
+                f"dp*tp*pp = {self.dp}*{self.tp}*{self.pp} = "
+                f"{self.dp * fp} must equal world size {num_gpus}"
+            )
+        return self
+
+    def validate_model(self, cost) -> None:
+        """tp must divide the model's feature width (clean channel shards),
+        and the pipeline cannot have more stages than layers."""
+        if self.pp > len(cost.layers):
+            raise ConfigError(
+                f"pp={self.pp} exceeds the model's {len(cost.layers)} layers"
+            )
+        if self.tp == 1:
+            return
+        width = model_width(cost)
+        if width == 0 or width % self.tp:
+            raise ConfigError(
+                f"tp={self.tp} must divide model width {width} "
+                f"({cost.name})"
+            )
+
+    def validate_batch(self, batch_per_gpu: int) -> None:
+        """The microbatch count must divide the replica's batch share.
+
+        One pipeline replica spans tp*pp GPUs, so its share of the global
+        batch is ``batch_per_gpu * tp * pp`` images; the microbatch count
+        must cut that evenly.
+        """
+        replica_batch = batch_per_gpu * self.tp * self.pp
+        if replica_batch % self.microbatches:
+            raise ConfigError(
+                f"microbatch count {self.microbatches} must divide the "
+                f"global batch share {replica_batch} of one pipeline "
+                f"replica (batch_per_gpu={batch_per_gpu} x tp={self.tp} "
+                f"x pp={self.pp})"
+            )
+
+    def validate_cluster(self, gpus_per_node: int) -> None:
+        """The tp*pp footprint must pack evenly into nodes.
+
+        Either several replicas share a node (footprint divides the node)
+        or one replica spans whole nodes (node divides the footprint);
+        anything else leaves the data-parallel groups with ragged node
+        placement the two-level collectives cannot describe.
+        """
+        fp = self.model_parallel_size
+        if gpus_per_node % fp and fp % gpus_per_node:
+            raise ConfigError(
+                f"model-parallel footprint tp*pp = {fp} must pack evenly "
+                f"into nodes of {gpus_per_node} GPUs (divide it or be a "
+                f"multiple of it)"
+            )

@@ -1,0 +1,135 @@
+"""Partitioning the per-layer cost model for a (tp, pp) grid.
+
+Tensor parallelism shards every channel-structured layer's output
+channels: a tp-shard of a conv keeps ``cout/tp`` filters, so parameters,
+FLOPs, activation bytes and bias all divide exactly (every term is a
+multiple of ``cout``).  Layers whose ``cout`` tp does not divide (e.g.
+EDSR's 3-channel tail) stay replicated: full compute on every tp rank and
+a small gradient allreduce across the tp group to keep the replicas in
+lock step.
+
+Pipeline parallelism cuts the layer list into ``pp`` contiguous stages
+balanced by forward FLOPs (greedy prefix packing; deterministic), and each
+stage boundary records the *full* (un-sharded) activation bytes its last
+layer emits — the payload of the stage-to-stage point-to-point hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.models.costing import LayerCost, ModelCostModel
+from repro.parallel.layout import ParallelLayout
+
+
+def is_shardable(layer: LayerCost, tp: int) -> bool:
+    """A layer shards iff tp divides its output channels."""
+    return tp > 1 and layer.cout > 0 and layer.cout % tp == 0
+
+
+def shard_layer(layer: LayerCost, tp: int) -> LayerCost:
+    """One tp rank's share of ``layer`` (exact: every term divides)."""
+    if not is_shardable(layer, tp):
+        return layer
+    return replace(
+        layer,
+        params=layer.params // tp,
+        flops_forward=layer.flops_forward / tp,
+        activation_bytes=layer.activation_bytes // tp,
+        bias_params=layer.bias_params // tp,
+        cout=layer.cout // tp,
+    )
+
+
+def split_stage_bounds(
+    layers: list[LayerCost], pp: int
+) -> list[tuple[int, int]]:
+    """Contiguous ``[start, end)`` layer ranges, balanced by forward FLOPs.
+
+    Greedy prefix packing against the remaining-work average: each stage
+    takes layers until adding the next would overshoot its target by more
+    than stopping undershoots it, always leaving at least one layer per
+    remaining stage.  Deterministic in the layer list alone.
+    """
+    if pp < 1:
+        raise ConfigError(f"pp must be >= 1, got {pp}")
+    if pp > len(layers):
+        raise ConfigError(
+            f"pp={pp} exceeds the model's {len(layers)} layers"
+        )
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    remaining = sum(l.flops_forward for l in layers)
+    for stage in range(pp):
+        stages_left = pp - stage
+        if stages_left == 1:
+            bounds.append((start, len(layers)))
+            break
+        target = remaining / stages_left
+        max_end = len(layers) - (stages_left - 1)
+        end = start + 1
+        acc = layers[start].flops_forward
+        while end < max_end:
+            nxt = acc + layers[end].flops_forward
+            if nxt > target and (nxt - target) > (target - acc):
+                break
+            acc = nxt
+            end += 1
+        bounds.append((start, end))
+        remaining -= acc
+        start = end
+    return bounds
+
+
+@dataclass(frozen=True)
+class StageShard:
+    """One pipeline stage's per-rank cost after tp sharding."""
+
+    index: int
+    cost: ModelCostModel  # tp-sharded layer costs of this stage
+    #: names of the layers actually sharded (the rest are replicated)
+    sharded_layers: tuple[str, ...]
+    #: per-rank params of replicated (non-shardable) layers — their
+    #: gradients need a tp-group allreduce each step
+    replicated_params: int
+    #: full (un-sharded) activation bytes per image the stage's last layer
+    #: emits; the stage-boundary hop payload (0 for the final stage)
+    boundary_activation_bytes: int
+
+
+def stage_models(
+    cost: ModelCostModel, layout: ParallelLayout
+) -> list[StageShard]:
+    """The per-rank stage shards of ``cost`` under ``layout``."""
+    tp = layout.tp
+    bounds = split_stage_bounds(cost.layers, layout.pp)
+    stages: list[StageShard] = []
+    for index, (start, end) in enumerate(bounds):
+        stage_layers = cost.layers[start:end]
+        sharded = tuple(
+            l.name for l in stage_layers if is_shardable(l, tp)
+        )
+        shards = [shard_layer(l, tp) for l in stage_layers]
+        replicated = sum(
+            l.params for l in stage_layers if not is_shardable(l, tp)
+        )
+        last = index == len(bounds) - 1
+        stages.append(
+            StageShard(
+                index=index,
+                cost=ModelCostModel(
+                    f"{cost.name}[stage{index}]",
+                    shards,
+                    peak_utilization=cost.peak_utilization,
+                    batch_half_point=cost.batch_half_point,
+                    kernels_per_layer=cost.kernels_per_layer,
+                ),
+                sharded_layers=sharded,
+                replicated_params=replicated,
+                boundary_activation_bytes=(
+                    0 if last else stage_layers[-1].activation_bytes
+                ),
+            )
+        )
+    return stages

@@ -1,0 +1,349 @@
+"""The (dp, tp, pp) layout planner for a target world size.
+
+Enumerates every valid layout point — tp over the node's divisors that
+divide the model width, pp over contiguous stage splits, microbatch counts
+that cut the replica batch evenly, optional fusion-threshold and tuned
+selection-table variants — prices each through the ordinary cached
+scaling-point machinery (:func:`repro.perf.parallel.run_point_jobs`, so a
+warm result cache short-circuits and ``jobs > 1`` fans out over worker
+processes), and emits a ranked recommendation.
+
+The search loop follows the PR 5 selection-table autotuner: the planner
+configuration content-digests to a cache key, an in-process memo
+short-circuits repeat plans, and the report is pure data — byte-identical
+across jobs=1 / jobs=N / warm-cache runs (pinned by tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, replace
+
+from repro.core.calibration import HOROVOD_TUNED, TRAIN_BATCH_PER_GPU
+from repro.errors import ConfigError
+from repro.hardware.specs import LASSEN, ClusterSpec
+from repro.models.registry import get_model_cost
+from repro.parallel.layout import SCHEDULES, ParallelLayout, model_width
+from repro.utils.units import MIB
+
+#: the paper's nominal training run: DIV2K's 800 training images for 300
+#: epochs — the workload behind every simulated time-to-train figure
+NOMINAL_TRAIN_IMAGES = 800 * 300
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Everything that determines a plan (the digest preimage)."""
+
+    ranks: int
+    scenario: str = "MPI-Opt"
+    model: str = "edsr-paper"
+    batch_per_gpu: int = TRAIN_BATCH_PER_GPU
+    cluster: ClusterSpec = LASSEN
+    engine_mode: str = "fast"
+    #: largest tensor-parallel degree to consider (0 = the node width)
+    max_tp: int = 0
+    #: largest pipeline depth to consider
+    max_pp: int = 4
+    #: microbatch counts to try for pipelined layouts
+    microbatches: tuple[int, ...] = (2, 4, 8, 16)
+    #: extra Horovod fusion-threshold variants (MiB) beyond the tuned default
+    fusion_mib: tuple[int, ...] = ()
+    schedules: tuple[str, ...] = ("1f1b",)
+    #: also price every candidate under a tuned comm selection table
+    use_tuned_tables: bool = False
+    warmup_steps: int = 1
+    measure_steps: int = 2
+
+    def __post_init__(self) -> None:
+        if self.ranks < 2:
+            raise ConfigError(f"ranks must be >= 2, got {self.ranks}")
+        if self.engine_mode not in ("exact", "fast"):
+            raise ConfigError(
+                f"engine_mode must be 'exact' or 'fast', got "
+                f"{self.engine_mode!r}"
+            )
+        if self.max_tp < 0:
+            raise ConfigError(f"max_tp must be >= 0, got {self.max_tp}")
+        if self.max_pp < 1:
+            raise ConfigError(f"max_pp must be >= 1, got {self.max_pp}")
+        if not self.microbatches or any(m < 1 for m in self.microbatches):
+            raise ConfigError("microbatches must be non-empty, all >= 1")
+        for schedule in self.schedules:
+            if schedule not in SCHEDULES:
+                raise ConfigError(
+                    f"schedule must be one of {SCHEDULES}, got {schedule!r}"
+                )
+        if not self.schedules:
+            raise ConfigError("schedules must be non-empty")
+
+
+#: in-process memo (digest -> report): planning is deterministic and the
+#: CLI/tests re-plan the same configuration repeatedly
+_PLAN_MEMO: dict[str, dict] = {}
+
+
+def plan_digest(config: PlannerConfig) -> str:
+    from repro.comm.selection import active_table_digests
+    from repro.perf.digest import canonical_digest, env_knobs
+
+    return canonical_digest(
+        {
+            "kind": "hybrid-plan",
+            "config": config,
+            "env": env_knobs(),
+            "comm_tables": active_table_digests(),
+        }
+    )
+
+
+def scaled_cluster(config: PlannerConfig) -> ClusterSpec:
+    """The cluster spec grown to hold the target world (Lassen-like
+    scaled fabric: same node and links, more of them)."""
+    spec = config.cluster
+    gpn = spec.node.gpus_per_node
+    needed = (config.ranks + gpn - 1) // gpn
+    if needed > spec.max_nodes:
+        spec = spec.with_nodes(needed)
+    return spec
+
+
+def enumerate_layouts(config: PlannerConfig) -> list[ParallelLayout]:
+    """Every valid (dp, tp, pp, microbatches, schedule) point, in a
+    deterministic tp-major order.  Pure data parallelism (dp = ranks) is
+    always the first candidate — the baseline every plan compares against.
+    """
+    cost = get_model_cost(config.model)
+    width = model_width(cost)
+    gpn = config.cluster.node.gpus_per_node
+    max_tp = config.max_tp or gpn
+    layouts: list[ParallelLayout] = []
+    for tp in range(1, max_tp + 1):
+        if gpn % tp:
+            continue  # tp must slice a node evenly
+        if tp > 1 and (width == 0 or width % tp):
+            continue  # tp must divide the model width
+        for pp in range(1, config.max_pp + 1):
+            footprint = tp * pp
+            if config.ranks % footprint:
+                continue
+            if gpn % footprint and footprint % gpn:
+                continue  # replicas must pack evenly into nodes
+            if pp > len(cost.layers):
+                continue
+            replica_batch = config.batch_per_gpu * footprint
+            if pp == 1:
+                counts: tuple[int, ...] = (1,)
+                schedules: tuple[str, ...] = (config.schedules[0],)
+            else:
+                counts = tuple(
+                    m for m in sorted(set(config.microbatches))
+                    if replica_batch % m == 0
+                )
+                schedules = config.schedules
+                if not counts:
+                    continue
+            for microbatches in counts:
+                for schedule in schedules:
+                    layouts.append(
+                        ParallelLayout(
+                            dp=config.ranks // footprint,
+                            tp=tp,
+                            pp=pp,
+                            microbatches=microbatches,
+                            schedule=schedule,
+                        )
+                    )
+    return layouts
+
+
+def _study_config(config: PlannerConfig, spec, layout, fusion_mib):
+    from repro.core.study import StudyConfig
+
+    horovod = HOROVOD_TUNED
+    if fusion_mib:
+        horovod = replace(horovod, fusion_threshold=fusion_mib * MIB)
+    return StudyConfig(
+        model=config.model,
+        batch_per_gpu=config.batch_per_gpu,
+        cluster=spec,
+        horovod=horovod,
+        engine_mode=config.engine_mode,
+        warmup_steps=config.warmup_steps,
+        measure_steps=config.measure_steps,
+        layout=layout,
+    )
+
+
+def _tuned_table(config: PlannerConfig, spec, *, cache=None):
+    from repro.comm.tuning import TuningConfig, tune_table
+    from repro.core.scenarios import scenario_by_name
+
+    backend = scenario_by_name(config.scenario).backend
+    return tune_table(
+        TuningConfig(backend=backend, cluster=spec, scenario=config.scenario),
+        cache=cache,
+    )
+
+
+def plan_hybrid(
+    config: PlannerConfig, *, jobs: int = 1, cache=None, use_memo: bool = True
+) -> dict:
+    """Search the layout space and return the ranked plan report.
+
+    ``jobs > 1`` fans candidate pricing out over worker processes through
+    :func:`~repro.perf.parallel.run_point_jobs`; the result is
+    byte-identical either way (deterministic candidate order, parent-side
+    cache, stable ranking keys).
+    """
+    import json
+
+    from repro.comm.selection import (
+        active_tables,
+        clear_active_tables,
+        set_active_table,
+    )
+    from repro.core.scenarios import scenario_by_name
+    from repro.core.study import ScalingStudy
+    from repro.errors import ConfigError as _ConfigError
+    from repro.perf.parallel import (
+        PointJob,
+        active_table_payloads,
+        run_point_jobs,
+    )
+
+    digest = plan_digest(config)
+    if use_memo and digest in _PLAN_MEMO:
+        return json.loads(json.dumps(_PLAN_MEMO[digest]))
+    if cache is not None and getattr(cache, "enabled", True):
+        hit = cache.get(digest)
+        if hit is not None:
+            if use_memo:
+                _PLAN_MEMO[digest] = hit
+            return json.loads(json.dumps(hit))
+
+    scenario = scenario_by_name(config.scenario)
+    spec = scaled_cluster(config)
+    fusion_variants = (0,) + tuple(sorted(set(config.fusion_mib)))
+    tables = ("default", "tuned") if config.use_tuned_tables else ("default",)
+
+    # memory feasibility pre-filter: infeasible layouts are reported, not
+    # priced (a worker raising a simulated OOM would poison the whole batch)
+    candidates: list[tuple[ParallelLayout, int]] = []
+    infeasible: list[dict] = []
+    for layout in enumerate_layouts(config):
+        for fusion_mib in fusion_variants:
+            probe = ScalingStudy(
+                scenario, _study_config(config, spec, layout, fusion_mib)
+            )
+            try:
+                from repro.parallel.executor import check_hybrid_memory
+
+                check_hybrid_memory(
+                    probe, layout, probe.batch_for(config.ranks)
+                )
+            except _ConfigError as err:
+                infeasible.append(
+                    {
+                        "dp": layout.dp, "tp": layout.tp, "pp": layout.pp,
+                        "microbatches": layout.microbatches,
+                        "schedule": layout.schedule,
+                        "fusion_mib": fusion_mib,
+                        "reason": str(err),
+                    }
+                )
+                continue
+            candidates.append((layout, fusion_mib))
+    if not candidates:
+        raise ConfigError(
+            f"no feasible layout for {config.ranks} ranks of "
+            f"{config.model} (batch {config.batch_per_gpu}/GPU)"
+        )
+
+    rows: list[dict] = []
+    global_batch = config.ranks * config.batch_per_gpu
+    steps_to_train = math.ceil(NOMINAL_TRAIN_IMAGES / global_batch)
+
+    def price_batch(table_name: str) -> None:
+        # workers re-install the parent's active selection tables; the
+        # point digest covers their digests, so default/tuned rows never
+        # collide in the cache
+        payloads = active_table_payloads()
+        point_jobs = [
+            PointJob(
+                config.scenario, config.ranks,
+                _study_config(config, spec, layout, fusion_mib),
+                comm_tables=payloads,
+            )
+            for layout, fusion_mib in candidates
+        ]
+        points = run_point_jobs(point_jobs, workers=jobs, cache=cache)
+        for (layout, fusion_mib), point in zip(candidates, points):
+            par = point.parallelism or {}
+            rows.append(
+                {
+                    "dp": layout.dp,
+                    "tp": layout.tp,
+                    "pp": layout.pp,
+                    "microbatches": layout.microbatches,
+                    "schedule": layout.schedule,
+                    "fusion_mib": fusion_mib,
+                    "table": table_name,
+                    "pure_dp": layout.is_pure_dp,
+                    "step_time": point.step_time,
+                    "images_per_second": point.images_per_second,
+                    "time_to_train_s": steps_to_train * point.step_time,
+                    "exposed_comm_time": point.exposed_comm_time,
+                    "bubble_fraction": par.get("bubble_fraction", 0.0),
+                    "tp_comm_time": par.get("tp_comm_time", 0.0),
+                    "pp_hop_time": par.get("pp_hop_time", 0.0),
+                }
+            )
+
+    price_batch("default")
+    if "tuned" in tables:
+        previous = active_tables()
+        try:
+            set_active_table(_tuned_table(config, spec, cache=cache))
+            price_batch("tuned")
+        finally:
+            clear_active_tables()
+            for table in previous.values():
+                set_active_table(table)
+
+    rows.sort(
+        key=lambda r: (
+            r["step_time"], r["tp"], r["pp"], r["microbatches"],
+            r["schedule"], r["fusion_mib"], r["table"],
+        )
+    )
+    best = rows[0]
+    best_dp = next((r for r in rows if r["pure_dp"]), None)
+    best_hybrid = next((r for r in rows if not r["pure_dp"]), None)
+    speedup = None
+    if best_dp is not None and best_hybrid is not None:
+        speedup = best_dp["step_time"] / best_hybrid["step_time"]
+    report = {
+        "kind": "hybrid-plan",
+        "digest": digest,
+        "config": asdict(config),
+        "ranks": config.ranks,
+        "global_batch": global_batch,
+        "steps_to_train": steps_to_train,
+        "nominal_train_images": NOMINAL_TRAIN_IMAGES,
+        "candidates": len(rows),
+        "points": rows,
+        "infeasible": infeasible,
+        "best": best,
+        "best_pure_dp": best_dp,
+        "best_hybrid": best_hybrid,
+        "hybrid_speedup": speedup,
+    }
+    # round-trip through JSON so the memo, the disk cache, and the caller
+    # all hold the identical (and provably serializable) payload
+    report = json.loads(json.dumps(report))
+    if use_memo:
+        _PLAN_MEMO[digest] = report
+    if cache is not None and getattr(cache, "enabled", True):
+        cache.put(digest, report)
+    return json.loads(json.dumps(report))

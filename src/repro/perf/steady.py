@@ -33,6 +33,7 @@ class SteadyStateDetector:
         self.window = window
         self.rel_tol = rel_tol
         self._samples: list[float] = []
+        self._context: object | None = None
 
     def observe(self, sample: float) -> None:
         self._samples.append(sample)
@@ -49,6 +50,25 @@ class SteadyStateDetector:
         samples before it converges again.
         """
         self._samples.clear()
+
+    def rearm_if_changed(self, key: object) -> bool:
+        """Re-arm when the measurement context changes mid-sweep.
+
+        A detector that outlives one measured point (the hybrid executor
+        reuses its detector across a sweep's points) must forget its
+        converged window the moment the context — world size, pipeline
+        depth, microbatch count — changes: a window converged at one
+        pipeline depth would otherwise extrapolate a *different* layout's
+        step time.  ``key`` is any equality-comparable description of the
+        context; returns True iff the change forced a re-arm.
+        """
+        if self._context is not None and self._context == key:
+            return False
+        changed = self._context is not None
+        self._context = key
+        if changed:
+            self.rearm()
+        return changed
 
     @property
     def samples(self) -> list[float]:

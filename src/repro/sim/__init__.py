@@ -25,6 +25,7 @@ from repro.sim.fastpath import (
     MutationClock,
     coerce_engine_mode,
     enable_fastpath,
+    fastpath_stats,
 )
 from repro.sim.resources import Resource, ResourceRequest
 from repro.sim.queues import Store
@@ -45,4 +46,5 @@ __all__ = [
     "MutationClock",
     "coerce_engine_mode",
     "enable_fastpath",
+    "fastpath_stats",
 ]

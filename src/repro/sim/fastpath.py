@@ -861,3 +861,17 @@ def enable_fastpath(world) -> FastPathSession | None:
     session = FastPathSession(transport)
     coster.fastpath = session
     return session
+
+
+def fastpath_stats(world) -> dict[str, int] | None:
+    """The replay statistics of a world's attached session, if any.
+
+    ``None`` when no session is attached — a closed-form backend, event
+    mode, or an exact-mode run.  Diagnostics only: the counters depend on
+    memo warmth, so reports that must be byte-identical across cold/warm
+    runs (scaling points, planner output) never embed them.
+    """
+    session = getattr(getattr(world, "coster", None), "fastpath", None)
+    if session is None:
+        return None
+    return session.stats()

@@ -85,12 +85,26 @@ class DistributedTrainer:
         recovery: RecoveryPolicy | None = None,
         checkpoints: CheckpointManager | None = None,
         local_sgd_h: int = 1,
+        layout=None,
     ):
         self.engine = engine
         if local_sgd_h < 1:
             raise ConfigError(
                 f"local_sgd_h must be >= 1, got {local_sgd_h}"
             )
+        # the functional trainer runs real (numpy) models; tensor/pipeline
+        # execution exists only in the performance path, so a layout here
+        # may describe pure data parallelism and nothing else
+        self.layout = layout
+        if layout is not None:
+            layout.resolved(engine.num_ranks)
+            if not layout.is_pure_dp:
+                raise ConfigError(
+                    "the functional trainer executes data-parallel only; "
+                    "tensor/pipeline execution is performance-mode "
+                    f"(got tp={layout.tp}, pp={layout.pp}; see "
+                    "repro.parallel and docs/parallelism.md)"
+                )
         # H == 1 is synchronous SGD (gradient allreduce every step); H > 1
         # runs H-1 purely local updates between parameter-averaging syncs
         self.local_sgd_h = local_sgd_h

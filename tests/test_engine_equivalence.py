@@ -157,6 +157,38 @@ class TestCompressionEquivalence:
         assert len(digests) == 5
 
 
+class TestHybridEquivalence:
+    """Tensor/pipeline layouts keep the fast/exact contract: every tp
+    collective and pp hop is priced closed-form, and the dp world under a
+    hybrid layout replays exactly like a pure-dp one."""
+
+    @pytest.mark.parametrize("num_gpus,layout_kw", [
+        (4, dict(tp=2, pp=2, microbatches=4)),
+        (16, dict(tp=2, pp=2, microbatches=4)),
+        (16, dict(tp=4)),
+        (16, dict(pp=4, microbatches=8)),
+        (16, dict(pp=4, microbatches=8, schedule="gpipe")),
+    ])
+    def test_hybrid_bit_identity(self, num_gpus, layout_kw):
+        from repro.parallel import ParallelLayout
+
+        layout = ParallelLayout(**layout_kw)
+        exact = run_point("MPI-Opt", num_gpus, "exact", layout=layout)
+        fast = run_point("MPI-Opt", num_gpus, "fast", layout=layout)
+        assert exact.parallelism is not None
+        assert_points_identical(exact, fast)
+
+    @pytest.mark.slow
+    def test_hybrid_bit_identity_512(self):
+        from repro.parallel import ParallelLayout
+
+        layout = ParallelLayout(dp=64, tp=2, pp=4, microbatches=8)
+        exact = run_point("MPI-Opt", 512, "exact", layout=layout)
+        fast = run_point("MPI-Opt", 512, "fast", layout=layout)
+        assert exact.parallelism["dp"] == 64
+        assert_points_identical(exact, fast)
+
+
 class TestServeEquivalence:
     @pytest.mark.parametrize("policy", ["rr", "jsq"])
     def test_report_bit_identity(self, policy):

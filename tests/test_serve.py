@@ -429,10 +429,10 @@ class TestSweep:
 
     def test_serve_digest_never_aliases_training(self):
         # serving preimages are keyed "serve-point"; the training sweeps
-        # use "scaling-point" — plus the v7 salt guards stale v6 caches
-        # (v7: correlated faults, CRC corruption surcharges, and chaos
-        # campaign payloads changed what a cached point contains)
-        assert CACHE_VERSION_SALT == "repro-perf-v7"
+        # use "scaling-point" — plus the v8 salt guards stale v7 caches
+        # (v8: hybrid parallel layouts folded into what a cached point
+        # contains)
+        assert CACHE_VERSION_SALT == "repro-perf-v8"
         from repro.perf.digest import canonical_json
 
         job = ServeJob(ServeScenario(), duration_s=5.0, seed=7)
