@@ -60,12 +60,15 @@ def _add_engine_mode(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_scale(args: argparse.Namespace) -> int:
+    from repro.core.scenarios import scenario_spec_by_name
     from repro.parallel import ParallelLayout
 
     scenario = scenario_by_name(args.scenario)
+    workload = scenario_spec_by_name(args.workload)
     gpu_counts = [int(g) for g in args.gpus.split(",")]
     # the measurement window must cover at least one local-SGD period
-    measure_steps = max(args.steps, args.local_sgd)
+    # and one full video sequence
+    measure_steps = max(args.steps, args.local_sgd, workload.frames)
     layout = ParallelLayout(
         tp=args.tp, pp=args.pp,
         microbatches=args.microbatches, schedule=args.schedule,
@@ -75,12 +78,17 @@ def cmd_scale(args: argparse.Namespace) -> int:
                                                engine_mode=args.engine_mode,
                                                compression=args.compression,
                                                local_sgd_h=args.local_sgd,
-                                               layout=layout))
+                                               layout=layout,
+                                               workload=workload))
     cache = _make_cache(args)
     points = study.run(gpu_counts, jobs=args.jobs, cache=cache)
+    model_label = (
+        args.model if workload.is_degenerate
+        else f"{args.model}, {workload.name}"
+    )
     table = TextTable(
         ["GPUs", "images/s", "efficiency", "step (ms)"],
-        title=f"Scaling study — {scenario.name} ({args.model})",
+        title=f"Scaling study — {scenario.name} ({model_label})",
     )
     for p in points:
         table.add_row(
@@ -237,6 +245,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.faults import FaultPlan
     from repro.serve import (
         POLICY_NAMES,
+        VIDEO_MIX,
         AdmissionConfig,
         AutoscalerConfig,
         BatchingConfig,
@@ -249,7 +258,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
     policies = list(POLICY_NAMES) if args.policy == "all" else [args.policy]
-    workload = WorkloadConfig(kind=args.workload, rate_rps=args.rate)
+    video = args.workload == "video"
+    # video arrivals are session starts (each expands into a whole frame
+    # train), so the sensible default rate is streams/s, not frames/s
+    rate = args.rate if args.rate is not None else (2.0 if video else 25.0)
+    if video:
+        workload = WorkloadConfig(
+            kind="video", rate_rps=rate, classes=VIDEO_MIX
+        )
+    else:
+        workload = WorkloadConfig(kind=args.workload, rate_rps=rate)
     autoscaler = AutoscalerConfig(
         enabled=not args.no_autoscale, max_replicas=args.max_replicas
     )
@@ -264,10 +282,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             batching=BatchingConfig(
                 max_batch=args.max_batch,
                 timeout_s=args.batch_timeout_ms / 1e3,
+                # different upscale factors never pad into one batch
+                mix_scales=not video,
             ),
             admission=AdmissionConfig(queue_capacity=args.queue_capacity),
             autoscaler=autoscaler,
             slo=SLOConfig(target_latency_s=args.slo_ms / 1e3),
+            session_affinity=video,
         )
 
     plan = None
@@ -548,6 +569,12 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--gpus", default="4,16,64")
     scale.add_argument("--steps", type=int, default=2)
     scale.add_argument("--model", default="edsr-paper")
+    scale.add_argument("--workload", default="image",
+                       choices=["image", "multiscale", "multiscale8", "video"],
+                       help="training workload scenario: single-image "
+                            "(the paper's), multi-scale heads (x2/x4[/x8] "
+                            "in one run), or recurrent video sequences; "
+                            "see docs/scenarios.md")
     scale.add_argument("--jobs", type=int, default=1,
                        help="worker processes for independent sweep points")
     scale.add_argument("--no-cache", action="store_true",
@@ -637,9 +664,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["rr", "jsq", "least-loaded", "all"],
                        help="routing policy, or 'all' to sweep every policy")
     serve.add_argument("--workload", default="poisson",
-                       choices=["poisson", "diurnal", "bursty"])
-    serve.add_argument("--rate", type=float, default=25.0,
-                       help="mean arrival rate (requests/s)")
+                       choices=["poisson", "diurnal", "bursty", "video"],
+                       help="arrival process; 'video' streams sessions of "
+                            "frames with per-frame deadlines, session "
+                            "affinity, and scale-pure batching")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="mean arrival rate (requests/s; video: "
+                            "session starts/s). Default 25, video 2")
     serve.add_argument("--duration", type=float, default=60.0,
                        help="length of the arrival trace (simulated seconds)")
     serve.add_argument("--seed", type=int, default=0)
@@ -680,7 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated chaos scenarios, or 'all' "
                             "(node-failure, switch-failure, partition, "
                             "wire-corruption, ckpt-corruption, "
-                            "serve-failover)")
+                            "serve-failover, video-failover)")
     chaos.add_argument("--policies", default="all",
                        help="comma-separated recovery policies, or 'all' "
                             "(restart, shrink)")

@@ -205,16 +205,33 @@ def _train_rows(config: CampaignConfig, cells, *, jobs: int, cache):
     return rows
 
 
+def _serve_scenario(chaos_name: str):
+    """The ServeScenario one serving chaos cell runs (workload-aware)."""
+    from repro.serve.batcher import BatchingConfig
+    from repro.serve.simulator import ServeScenario
+    from repro.serve.workload import VIDEO_MIX, WorkloadConfig
+
+    if scenario_by_name(chaos_name).workload == "video":
+        return ServeScenario(
+            name=f"chaos-{chaos_name}",
+            workload=WorkloadConfig(
+                kind="video", rate_rps=2.0, classes=VIDEO_MIX
+            ),
+            batching=BatchingConfig(mix_scales=False),
+            session_affinity=True,
+        )
+    return ServeScenario(name=f"chaos-{chaos_name}")
+
+
 def _serve_rows(config: CampaignConfig, cells, *, jobs: int, cache):
     """Run serving cells (both engine modes) through the serve sweep."""
-    from repro.serve.simulator import ServeScenario
     from repro.serve.sweep import ServeJob, run_serve_jobs
 
     serve_jobs = []
     for scenario_name, policy_name, seed in cells:
         plan = build_plan(scenario_name, seed, None)
         policy = _policy_for(policy_name)
-        scenario = ServeScenario(name=f"chaos-{scenario_name}")
+        scenario = _serve_scenario(scenario_name)
         for mode in ("exact", "fast"):
             serve_jobs.append(
                 ServeJob(

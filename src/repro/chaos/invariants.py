@@ -22,7 +22,9 @@ Training cells check:
   topological footprint (node/switch/partition lowering is exact).
 
 Serving cells check **request-conservation** (completed + shed ==
-arrived), **failure-detected**, and **fast-exact-identity**.
+arrived), **failure-detected**, and **fast-exact-identity**; video cells
+additionally check **session-conservation** (every session's frames
+completed or shed — no frame lost across a mid-stream failover).
 """
 
 from __future__ import annotations
@@ -137,6 +139,26 @@ def request_conservation(summary: dict) -> InvariantResult:
     )
 
 
+def session_conservation(summary: dict) -> InvariantResult:
+    """Video ledger: every session's frames completed or shed.
+
+    The per-session partition is enforced inside
+    :meth:`repro.serve.slo.SLOLedger.finalize` (contiguous frame runs, a
+    hard error on any gap); this invariant re-checks the aggregate frame
+    conservation on the cached payload so a stale or hand-edited cell
+    cannot pass silently.
+    """
+    v = summary["video"]
+    accounted = v["frames_completed"] + v["frames_shed"]
+    return InvariantResult(
+        "session-conservation",
+        accounted == v["frames_arrived"],
+        f"{v['frames_completed']} completed + {v['frames_shed']} shed of "
+        f"{v['frames_arrived']} frame(s) across {v['sessions']} session(s), "
+        f"{v['rehomes']} re-home(s)",
+    )
+
+
 def failure_detected(summary: dict) -> InvariantResult:
     """The injected replica failure was actually declared."""
     n = summary["detections"]
@@ -171,8 +193,11 @@ def check_serve_cell(
 ) -> list[InvariantResult]:
     """All invariants for one serving cell."""
     summary = exact_payload["summary"]
-    return [
+    results = [
         request_conservation(summary),
         failure_detected(summary),
-        fast_exact_identity(fast_payload, exact_payload),
     ]
+    if "video" in summary:
+        results.append(session_conservation(summary))
+    results.append(fast_exact_identity(fast_payload, exact_payload))
+    return results

@@ -56,6 +56,9 @@ class ChaosScenario:
     #: expected live ranks at run end given the topology (training only;
     #: None disables the blast-radius invariant for this scenario)
     expected_survivors: Callable[[Topology], int] | None = None
+    #: serving cells only: "default" replays the single-image mix,
+    #: "video" a session-affine video-stream mix (scale-pure batching)
+    workload: str = "default"
 
 
 def _node_failure_plan(seed: int, topo: Topology | None) -> FaultPlan:
@@ -134,6 +137,18 @@ def _serve_failover_plan(seed: int, topo: Topology | None) -> FaultPlan:
     )
 
 
+def _video_failover_plan(seed: int, topo: Topology | None) -> FaultPlan:
+    # replica 0: the video pool's scale-down victim is always the highest
+    # replica id, so replica 0 is guaranteed alive (and streaming) at the
+    # injection time — the failure always lands mid-stream
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            RankFailure(rank=0, time=20.0 + 2.0 * (seed % 3), down_s=25.0),
+        ),
+    )
+
+
 def _minus_node(topo: Topology) -> int:
     return topo.num_ranks - topo.gpus_per_node
 
@@ -185,6 +200,13 @@ SCENARIOS: dict[str, ChaosScenario] = {
             "serve-failover", "serve",
             "a serving replica dies mid-run and later returns",
             _serve_failover_plan,
+        ),
+        ChaosScenario(
+            "video-failover", "serve",
+            "a replica dies mid-stream: whole sessions re-home, frames "
+            "conserve per session",
+            _video_failover_plan,
+            workload="video",
         ),
     )
 }

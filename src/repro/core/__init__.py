@@ -17,8 +17,15 @@ This package assembles the substrates into the paper's experiments:
 
 from repro.core.scenarios import (
     SCENARIOS,
+    SCENARIO_SPECS,
+    IMAGE_SPEC,
+    MULTISCALE_SPEC,
+    MULTISCALE8_SPEC,
+    VIDEO_SPEC,
     Scenario,
+    ScenarioSpec,
     scenario_by_name,
+    scenario_spec_by_name,
     MPI_DEFAULT,
     MPI_REG,
     MPI_OPT,
@@ -33,8 +40,15 @@ from repro.core.tuning import HorovodTuner, TuningResult
 
 __all__ = [
     "Scenario",
+    "ScenarioSpec",
     "SCENARIOS",
+    "SCENARIO_SPECS",
+    "IMAGE_SPEC",
+    "MULTISCALE_SPEC",
+    "MULTISCALE8_SPEC",
+    "VIDEO_SPEC",
     "scenario_by_name",
+    "scenario_spec_by_name",
     "MPI_DEFAULT",
     "MPI_REG",
     "MPI_OPT",

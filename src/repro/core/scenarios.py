@@ -1,8 +1,10 @@
-"""The paper's named configurations (§III-D).
+"""The paper's named configurations (§III-D) and workload scenario specs.
 
-Every scenario launches one rank per GPU with
-``CUDA_VISIBLE_DEVICES=local_rank`` (the memory-safe discipline of
-Fig. 6b); they differ only in the MPI layer:
+Two orthogonal "scenario" axes live here:
+
+**Communication scenarios** (:class:`Scenario`): every scenario launches
+one rank per GPU with ``CUDA_VISIBLE_DEVICES=local_rank`` (the
+memory-safe discipline of Fig. 6b); they differ only in the MPI layer:
 
 * **MPI** — stock MVAPICH2-GDR under that discipline: CUDA IPC silently
   lost (host-staged intra-node path), registration cache off;
@@ -12,6 +14,14 @@ Fig. 6b); they differ only in the MPI layer:
   framework stays restricted (Fig. 7);
 * **NCCL** — the NCCL backend, which manages IPC itself and is unaffected
   by the visibility conflict.
+
+**Workload scenarios** (:class:`ScenarioSpec`): what the job trains and
+serves — patch geometry, the set of upscale factors, and temporal extent.
+The paper's workload (single still images, one scale) is the *degenerate*
+spec, and every existing digest, sweep, and bit-identity suite keeps its
+semantics under it; video (frame sequences with carried recurrent state)
+and multi-scale (several upsampler heads sharing one trunk) are the first
+non-trivial members.  See ``docs/scenarios.md``.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.models.blocks import SUPPORTED_SCALES
 from repro.mpi.env import Mv2Config
 from repro.mpi.process import AllDevicesPolicy, DevicePolicy, SingletonDevicePolicy
 
@@ -91,4 +102,121 @@ def scenario_by_name(name: str) -> Scenario:
             return scenario
     raise ConfigError(
         f"unknown scenario {name!r}; available: {[s.name for s in SCENARIOS]}"
+    )
+
+
+# -- workload scenario specs ---------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """What one training/serving step processes: the workload geometry.
+
+    ``frames`` is the temporal extent of one sample: 1 is a still image
+    (the paper's workload); ``frames > 1`` is a video clip trained with
+    truncated BPTT — ``frames - 1`` communication-free frame steps carry
+    gradients and hidden state forward, and the sequence-boundary step
+    runs the gradient allreduce plus the optimizer update (the same
+    periodic structure as local-SGD, with the collective carrying
+    gradients instead of parameters).  ``scales`` prices one upsampler
+    head per factor on a shared trunk; a single still scale is the
+    degenerate case that routes through the registered cost model
+    unchanged, keeping every pre-existing simulated anchor bit-identical.
+    """
+
+    name: str = "image"
+    patch: int = 48
+    scales: tuple[int, ...] = (2,)
+    frames: int = 1
+    #: serving-side pacing of a session's frames (unused when frames == 1)
+    frame_rate_fps: float = 24.0
+    #: carry a recurrent hidden state between frames (prices the fusion
+    #: conv and its activation memory; implies per-frame sequencing)
+    recurrent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.patch < 8:
+            raise ConfigError(f"patch must be >= 8, got {self.patch}")
+        object.__setattr__(self, "scales", tuple(self.scales))
+        if not self.scales:
+            raise ConfigError("a scenario needs at least one upscale factor")
+        for s in self.scales:
+            if s not in SUPPORTED_SCALES:
+                raise ConfigError(
+                    f"unsupported upscale factor {s}; supported scales are "
+                    f"{SUPPORTED_SCALES}"
+                )
+        if tuple(sorted(set(self.scales))) != self.scales:
+            raise ConfigError(
+                f"scales must be strictly increasing and unique, "
+                f"got {self.scales}"
+            )
+        if self.frames < 1:
+            raise ConfigError(f"frames must be >= 1, got {self.frames}")
+        if self.frame_rate_fps <= 0:
+            raise ConfigError(
+                f"frame_rate_fps must be > 0, got {self.frame_rate_fps}"
+            )
+        if self.recurrent and self.frames < 2:
+            raise ConfigError(
+                "a recurrent scenario needs frames >= 2 (hidden state is "
+                "carried *between* frames)"
+            )
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True for the paper's workload: the registered cost model applies
+        unchanged (single still image, one x2 head, 48x48 LR patches)."""
+        return (
+            self.frames == 1
+            and self.scales == (2,)
+            and self.patch == 48
+            and not self.recurrent
+        )
+
+    @property
+    def is_temporal(self) -> bool:
+        return self.frames > 1
+
+    def sample_shape(self, n_colors: int = 3) -> tuple[int, int, int, int]:
+        """Per-step LR sample shape: (frames, channels, patch, patch)."""
+        return (self.frames, n_colors, self.patch, self.patch)
+
+    def to_payload(self) -> dict:
+        """JSON-encodable form for report/point payloads."""
+        return {
+            "name": self.name,
+            "patch": self.patch,
+            "scales": list(self.scales),
+            "frames": self.frames,
+            "frame_rate_fps": self.frame_rate_fps,
+            "recurrent": self.recurrent,
+        }
+
+
+#: the paper's workload: single still images, one x2 head — the
+#: degenerate spec every pre-existing digest and baseline lives under
+IMAGE_SPEC = ScenarioSpec(name="image")
+
+#: two upsampler heads (x2, x4) priced on one shared trunk
+MULTISCALE_SPEC = ScenarioSpec(name="multiscale", scales=(2, 4))
+
+#: the full head set: x2, x4, and x8 in one run
+MULTISCALE8_SPEC = ScenarioSpec(name="multiscale8", scales=(2, 4, 8))
+
+#: 8-frame clips with carried recurrent state, one x2 head
+VIDEO_SPEC = ScenarioSpec(
+    name="video", frames=8, frame_rate_fps=24.0, recurrent=True
+)
+
+SCENARIO_SPECS: tuple[ScenarioSpec, ...] = (
+    IMAGE_SPEC, MULTISCALE_SPEC, MULTISCALE8_SPEC, VIDEO_SPEC,
+)
+
+
+def scenario_spec_by_name(name: str) -> ScenarioSpec:
+    for spec in SCENARIO_SPECS:
+        if spec.name.lower() == name.lower():
+            return spec
+    raise ConfigError(
+        f"unknown workload scenario {name!r}; available: "
+        f"{[s.name for s in SCENARIO_SPECS]}"
     )

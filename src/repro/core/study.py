@@ -25,7 +25,7 @@ from repro.core.calibration import (
 )
 from repro.comm.api import broadcast_weights
 from repro.compression import CompressionConfig
-from repro.core.scenarios import Scenario
+from repro.core.scenarios import IMAGE_SPEC, Scenario, ScenarioSpec
 from repro.errors import ConfigError
 from repro.hardware.cluster import build_cluster
 from repro.hardware.specs import ClusterSpec, LASSEN
@@ -35,7 +35,7 @@ from repro.horovod.env import HorovodConfig
 from repro.horovod.fusion import PendingTensor
 from repro.horovod.backend import build_backend
 from repro.models.costing import ModelCostModel, ThroughputModel, TrainingMemoryModel
-from repro.models.registry import get_model_cost
+from repro.models.registry import get_model_cost, get_scenario_cost
 from repro.mpi.process import WorldSpec
 from repro.parallel.layout import ParallelLayout
 from repro.profiling.hvprof import Hvprof
@@ -90,6 +90,16 @@ class StudyConfig:
     # other config field, so dp-only and hybrid points never share cache
     # entries.
     layout: ParallelLayout = ParallelLayout()
+    # Workload scenario: what one step processes.  The default (the
+    # paper's single-image/single-scale workload) routes through the
+    # registered cost model and the unchanged step loop, so every
+    # pre-existing simulated anchor stays bit-identical.  Multi-scale
+    # specs swap in the multi-head cost structure; temporal specs
+    # (frames > 1) run the video BPTT loop — frames-1 communication-free
+    # frame steps, then a sequence-boundary step carrying the gradient
+    # allreduce and the update.  Folds into point digests like any other
+    # config field.
+    workload: ScenarioSpec = IMAGE_SPEC
 
     def __post_init__(self) -> None:
         if self.batch_per_gpu < 1:
@@ -124,6 +134,28 @@ class StudyConfig:
                 "hybrid (tp/pp) layouts do not compose with local-SGD "
                 f"(local_sgd_h={self.local_sgd_h}); run one or the other"
             )
+        if not isinstance(self.workload, ScenarioSpec):
+            raise ConfigError(
+                f"workload must be a ScenarioSpec, got {self.workload!r}"
+            )
+        if self.workload.is_temporal and self.local_sgd_h > 1:
+            raise ConfigError(
+                "temporal (video) workloads already own the periodic step "
+                "structure; they do not compose with local-SGD "
+                f"(local_sgd_h={self.local_sgd_h})"
+            )
+        if self.workload.is_temporal and self.workload.frames > self.measure_steps:
+            # a measurement window shorter than one sequence would never
+            # cross a sequence boundary and report zero communication
+            raise ConfigError(
+                f"measure_steps ({self.measure_steps}) must cover at least "
+                f"one video sequence (frames={self.workload.frames})"
+            )
+        if not self.workload.is_degenerate and not self.layout.is_pure_dp:
+            raise ConfigError(
+                "hybrid (tp/pp) layouts support only the default workload "
+                f"scenario for now, got {self.workload.name!r}"
+            )
         CompressionConfig.parse(self.compression)  # raises ConfigError
 
 
@@ -157,6 +189,10 @@ class ScalingPoint:
     # shares, stage bounds) for points the hybrid executor priced; None
     # for pure data-parallel points.
     parallelism: dict | None = None
+    # Workload scenario payload (ScenarioSpec.to_payload) for points run
+    # under a non-default spec (multi-scale heads, video sequences);
+    # None for the paper's degenerate single-image workload.
+    workload: dict | None = None
 
     @property
     def per_gpu_rate(self) -> float:
@@ -185,7 +221,24 @@ class ScalingStudy:
         self.config = config or StudyConfig()
         self.fault_plan = fault_plan
         self.recovery = recovery
-        self.cost: ModelCostModel = get_model_cost(self.config.model)
+        workload = self.config.workload
+        if fault_plan is not None and not workload.is_degenerate:
+            raise ConfigError(
+                "fault plans support only the default workload scenario "
+                f"for now, got {workload.name!r}; run the resilience study "
+                "on the single-image workload"
+            )
+        if workload.is_degenerate:
+            # the paper's workload: the registered cost model, unchanged —
+            # every pre-existing simulated anchor stays bit-identical
+            self.cost: ModelCostModel = get_model_cost(self.config.model)
+        else:
+            self.cost = get_scenario_cost(
+                self.config.model,
+                scales=workload.scales,
+                patch=workload.patch,
+                recurrent=workload.recurrent,
+            )
         self.throughput = ThroughputModel(self.cost, self.config.cluster.node.gpu)
         self.memory = TrainingMemoryModel(self.cost)
         # lazily-built hybrid executor; shared across this study's points
@@ -200,7 +253,19 @@ class ScalingStudy:
 
     # -- single-GPU baseline (no communication) -------------------------------
     def single_gpu_rate(self) -> float:
-        return self.throughput.images_per_second(self.batch_for(1))
+        batch = self.batch_for(1)
+        T = self.config.workload.frames
+        if T == 1:
+            return self.throughput.images_per_second(batch)
+        # video: the optimizer update fires once per sequence, so it
+        # amortizes over the frame steps (same arithmetic as the 1-GPU
+        # point, so efficiency is exactly 1.0 there)
+        step = (
+            self.throughput.forward_time(batch)
+            + self.throughput.backward_time(batch)
+            + self._update_time() / T
+        )
+        return batch / step
 
     def _update_time(self) -> float:
         gpu = self.config.cluster.node.gpu
@@ -361,8 +426,16 @@ class ScalingStudy:
         forward = self.throughput.forward_time(batch)
         backward = self.throughput.backward_time(batch)
         update = self._update_time()
+        T = cfg.workload.frames
+        workload_payload = (
+            None if cfg.workload.is_degenerate else cfg.workload.to_payload()
+        )
         if num_gpus == 1:
-            step = forward + backward + update
+            if T > 1:
+                # one update per sequence, amortized over the frame steps
+                step = forward + backward + update / T
+            else:
+                step = forward + backward + update
             return ScalingPoint(
                 scenario=self.scenario.name,
                 num_gpus=1,
@@ -375,6 +448,7 @@ class ScalingStudy:
                 update_time=update,
                 blocking_time=0.0,
                 comm_wall_time=0.0,
+                workload=workload_payload,
             )
         cluster = build_cluster(cfg.cluster, num_gpus)
         world_spec = WorldSpec(
@@ -402,7 +476,7 @@ class ScalingStudy:
         rng = SeedSequenceFactory(2021).generator("gradient-jitter", num_gpus)
         H = cfg.local_sgd_h
         timing: StepTiming | None = None
-        if H > 1:
+        if H > 1 or T > 1:
             # a short run may end before any sync boundary fires; the
             # point's comm fields then report the zero-comm local regime
             timing = StepTiming(
@@ -420,11 +494,14 @@ class ScalingStudy:
             and hvprof is None
             and cfg.measure_steps > cfg.steady_window
         ):
-            if H > 1:
+            if H > 1 or T > 1:
                 from repro.perf.steady import PeriodicSteadyState
 
+                # local-SGD and temporal sequences are mutually exclusive
+                # (StudyConfig rejects the combination), so the active
+                # cadence is whichever period exceeds one
                 periodic = PeriodicSteadyState(
-                    H, cfg.steady_window, cfg.steady_rel_tol
+                    max(H, T), cfg.steady_window, cfg.steady_rel_tol
                 )
             else:
                 from repro.perf.steady import SteadyStateDetector
@@ -466,6 +543,44 @@ class ScalingStudy:
                         periodic.observe(step, step_index % H)
                         if periodic.converged():
                             next_phase = (step_index + 1) % H
+                            break
+                continue
+            if T > 1:
+                # temporal BPTT over a T-frame sequence: T-1 frame steps
+                # run forward+backward only, carrying the recurrent state;
+                # the sequence boundary drains the accumulated gradient
+                # through the engine (overlapped with the last backward)
+                # and applies the one optimizer update per sequence
+                if (step_index + 1) % T == 0:
+                    stream = self._gradient_stream(backward_eff, rng=rng)
+                    staged_before = (
+                        transport.max_staged_seconds() if transport else 0.0
+                    )
+                    timing = engine.run_step(
+                        stream, backward_time=backward_eff
+                    )
+                    staged_delta = (
+                        transport.max_staged_seconds() - staged_before
+                        if transport else 0.0
+                    )
+                    blocking = staged_delta * PAGEABLE_BLOCKING_FACTOR
+                    step = (
+                        forward
+                        + max(backward_eff, timing.comm_finish)
+                        + blocking
+                        + update
+                    )
+                else:
+                    step = forward + backward_eff
+                if step_index >= cfg.warmup_steps:
+                    step_times.append(step)
+                    if (
+                        periodic is not None
+                        and len(step_times) < cfg.measure_steps
+                    ):
+                        periodic.observe(step, step_index % T)
+                        if periodic.converged():
+                            next_phase = (step_index + 1) % T
                             break
                 continue
             stream = self._gradient_stream(backward_eff, rng=rng)
@@ -532,6 +647,7 @@ class ScalingStudy:
             regcache_hit_rate=regcache,
             simulated_steps=simulated_steps,
             extrapolated_steps=extrapolated_steps,
+            workload=workload_payload,
         )
 
     # -- elastic recovery (performance mode) --------------------------------------

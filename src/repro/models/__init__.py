@@ -16,7 +16,13 @@
   which tests validate against the real tiny models).
 """
 
-from repro.models.blocks import MeanShift, ResBlock, Upsampler
+from repro.models.blocks import (
+    SUPPORTED_SCALES,
+    MeanShift,
+    ResBlock,
+    Upsampler,
+    upsampler_stage_factors,
+)
 from repro.models.edsr import (
     EDSR,
     EDSRConfig,
@@ -35,12 +41,20 @@ from repro.models.costing import (
     ModelCostModel,
     TrainingMemoryModel,
 )
-from repro.models.registry import get_model_cost, list_model_costs
+from repro.models.registry import (
+    get_model_cost,
+    get_scenario_cost,
+    list_model_costs,
+)
+from repro.models.video import RecurrentEDSR
 
 __all__ = [
+    "SUPPORTED_SCALES",
     "MeanShift",
     "ResBlock",
     "Upsampler",
+    "upsampler_stage_factors",
+    "RecurrentEDSR",
     "EDSR",
     "EDSRConfig",
     "EDSR_PAPER",
@@ -59,5 +73,6 @@ __all__ = [
     "ModelCostModel",
     "TrainingMemoryModel",
     "get_model_cost",
+    "get_scenario_cost",
     "list_model_costs",
 ]

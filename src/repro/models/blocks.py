@@ -15,6 +15,31 @@ from repro.tensor import functional as F
 from repro.tensor.nn import BatchNorm2d, Conv2d, Module
 from repro.tensor.tensor import Tensor
 
+#: upscale factors the sub-pixel upsampler supports: powers of two stack
+#: log2(s) 4x pixel-shuffle stages, 3 uses a single 9x stage.  The cost
+#: model (:func:`repro.models.costing.upsampler_plan`) prices exactly
+#: this structure, so anything outside the set is a typed ConfigError in
+#: both worlds rather than a silent mis-pricing.
+SUPPORTED_SCALES = (2, 3, 4, 8)
+
+
+def upsampler_stage_factors(scale: int) -> tuple[int, ...]:
+    """Pixel-shuffle factor of each upsampler stage, head to tail.
+
+    Raises :class:`~repro.errors.ConfigError` for unsupported factors —
+    odd scales other than 3 have no sub-pixel decomposition here, and the
+    old ``scale // 2`` stage count silently mis-priced them.
+    """
+    if scale not in SUPPORTED_SCALES:
+        raise ConfigError(
+            f"unsupported upscale factor {scale}; supported scales are "
+            f"{SUPPORTED_SCALES}"
+        )
+    if scale == 3:
+        return (3,)
+    # power of two: log2(scale) stages of x2
+    return (2,) * (scale.bit_length() - 1)
+
 
 class ResBlock(Module):
     """EDSR residual block: conv-ReLU-conv, scaled, plus identity."""
@@ -54,8 +79,9 @@ class ResBlock(Module):
 class Upsampler(Module):
     """Sub-pixel upsampler tail: conv to ``r^2 x`` channels + pixel shuffle.
 
-    Scale 2 and 3 use one stage; scale 4 stacks two x2 stages (as in the
-    reference EDSR implementation).
+    Scale 2 and 3 use one stage; powers of two stack log2(scale) x2
+    stages (scale 4 as in the reference EDSR implementation, scale 8 one
+    stage deeper).  The supported set is :data:`SUPPORTED_SCALES`.
     """
 
     def __init__(
@@ -67,14 +93,9 @@ class Upsampler(Module):
     ):
         super().__init__()
         rng = rng or np.random.default_rng(0)
-        if scale not in (2, 3, 4):
-            raise ConfigError(f"upscale factor must be 2, 3, or 4, got {scale}")
         stages: list[tuple[Conv2d, int]] = []
-        if scale == 3:
-            stages.append((Conv2d(n_feats, 9 * n_feats, 3, rng=rng), 3))
-        else:
-            for _ in range(scale // 2):
-                stages.append((Conv2d(n_feats, 4 * n_feats, 3, rng=rng), 2))
+        for r in upsampler_stage_factors(scale):
+            stages.append((Conv2d(n_feats, r * r * n_feats, 3, rng=rng), r))
         self._stages = stages
         for i, (conv, _r) in enumerate(stages):
             setattr(self, f"conv{i}", conv)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.hardware.specs import GpuSpec
+from repro.models.blocks import upsampler_stage_factors
 from repro.models.edsr import EDSRConfig
 from repro.models.resnet import Bottleneck, ResNetConfig
 
@@ -79,6 +80,36 @@ def _linear_cost(name: str, cin: int, cout: int) -> LayerCost:
                      bias_params=cout, cout=cout)
 
 
+def upsampler_plan(
+    config: EDSRConfig, scale: int, h: int, w: int, *, prefix: str = ""
+) -> tuple[list[LayerCost], int, int]:
+    """Per-stage costs of one sub-pixel upsampler head, validated.
+
+    Prices exactly the structure :class:`~repro.models.blocks.Upsampler`
+    builds — one ``r^2 x``-channel conv plus pixel shuffle per stage — and
+    raises a typed :class:`~repro.errors.ConfigError` for any factor
+    outside the supported set (the old ``scale // 2`` loop silently
+    mis-priced odd scales).  Returns the stage layers and the upscaled
+    (h, w).
+    """
+    layers: list[LayerCost] = []
+    k = config.kernel_size
+    for i, r in enumerate(upsampler_stage_factors(scale)):
+        layers.append(
+            _conv_cost(
+                f"{prefix}upsampler.conv{i}",
+                config.n_feats, r * r * config.n_feats, k, h, w,
+            )
+        )
+        h, w = h * r, w * r
+    return layers, h, w
+
+
+def temporal_state_bytes(config: EDSRConfig, patch: int = 48) -> int:
+    """Per-image bytes of the carried inter-frame hidden state (fp32)."""
+    return config.n_feats * patch * patch * 4
+
+
 class ModelCostModel:
     """Cost structure plus throughput-model coefficients for one model."""
 
@@ -115,20 +146,65 @@ class ModelCostModel:
             layers.append(_conv_cost(f"block{b}.conv1", c.n_feats, c.n_feats, k, h, w))
             layers.append(_conv_cost(f"block{b}.conv2", c.n_feats, c.n_feats, k, h, w))
         layers.append(_conv_cost("body_conv", c.n_feats, c.n_feats, k, h, w))
-        if c.scale == 3:
-            layers.append(_conv_cost("upsampler.conv0", c.n_feats, 9 * c.n_feats, k, h, w))
-            h, w = h * 3, w * 3
-        else:
-            for i in range(c.scale // 2):
-                layers.append(
-                    _conv_cost(f"upsampler.conv{i}", c.n_feats, 4 * c.n_feats, k, h, w)
-                )
-                h, w = h * 2, w * 2
+        head_layers, h, w = upsampler_plan(c, c.scale, h, w)
+        layers.extend(head_layers)
         layers.append(_conv_cost("tail", c.n_feats, c.n_colors, k, h, w))
         # Wide 48x48 conv stacks fill the V100 well even at small batch;
         # coefficients calibrated so batch 4 reproduces the paper's 10.3 img/s.
         return cls(
             config.name, layers, peak_utilization=0.41, batch_half_point=0.4
+        )
+
+    @classmethod
+    def for_edsr_multi(
+        cls,
+        config: EDSRConfig,
+        scales: tuple[int, ...],
+        *,
+        patch: int = 48,
+        recurrent: bool = False,
+        name: str | None = None,
+    ) -> "ModelCostModel":
+        """Multi-scale (and optionally recurrent) EDSR cost structure.
+
+        One shared trunk (head + residual body) feeds one sub-pixel
+        upsampler head per requested scale — the heads' layers are
+        prefixed ``x<scale>.`` so gradient tensors stay distinguishable in
+        the fusion stream.  ``recurrent`` adds the temporal fusion conv
+        (previous hidden state concatenated onto the trunk features, 2F ->
+        F at LR resolution) that carries state between video frames; its
+        activation is exactly the inter-frame hidden state, so the memory
+        model prices the carried state automatically.
+
+        Single-scale, non-recurrent, 48-patch calls reduce to the same
+        trunk arithmetic as :meth:`for_edsr`; the degenerate workload spec
+        routes through the registered :meth:`for_edsr` model unchanged.
+        """
+        if not scales:
+            raise ConfigError("for_edsr_multi needs at least one scale")
+        c = config
+        h = w = patch
+        k = c.kernel_size
+        layers = [_conv_cost("head", c.n_colors, c.n_feats, k, h, w)]
+        for b in range(c.n_resblocks):
+            layers.append(_conv_cost(f"block{b}.conv1", c.n_feats, c.n_feats, k, h, w))
+            layers.append(_conv_cost(f"block{b}.conv2", c.n_feats, c.n_feats, k, h, w))
+        layers.append(_conv_cost("body_conv", c.n_feats, c.n_feats, k, h, w))
+        if recurrent:
+            layers.append(
+                _conv_cost("temporal.fuse", 2 * c.n_feats, c.n_feats, k, h, w)
+            )
+        for scale in scales:
+            head_layers, sh, sw = upsampler_plan(
+                c, scale, h, w, prefix=f"x{scale}."
+            )
+            layers.extend(head_layers)
+            layers.append(
+                _conv_cost(f"x{scale}.tail", c.n_feats, c.n_colors, k, sh, sw)
+            )
+        return cls(
+            name or config.name, layers,
+            peak_utilization=0.41, batch_half_point=0.4,
         )
 
     @classmethod

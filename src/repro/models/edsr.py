@@ -21,7 +21,7 @@ from repro.errors import ConfigError
 from repro.tensor import functional as F
 from repro.tensor.nn import Conv2d, Module
 from repro.tensor.tensor import Tensor
-from repro.models.blocks import MeanShift, ResBlock, Upsampler
+from repro.models.blocks import SUPPORTED_SCALES, MeanShift, ResBlock, Upsampler
 
 #: DIV2K channel means in [0,1] range (reference implementation values)
 DIV2K_RGB_MEAN = (0.4488, 0.4371, 0.4040)
@@ -44,8 +44,10 @@ class EDSRConfig:
             raise ConfigError("n_resblocks must be >= 1")
         if self.n_feats < 1:
             raise ConfigError("n_feats must be >= 1")
-        if self.scale not in (2, 3, 4):
-            raise ConfigError(f"scale must be 2, 3, or 4, got {self.scale}")
+        if self.scale not in SUPPORTED_SCALES:
+            raise ConfigError(
+                f"scale must be one of {SUPPORTED_SCALES}, got {self.scale}"
+            )
 
 
 #: full EDSR, consistent with the paper's Table I message sizes

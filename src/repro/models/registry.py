@@ -21,6 +21,11 @@ _REGISTRY: dict[str, Callable[[], ModelCostModel]] = {
 }
 
 
+_EDSR_CONFIGS = {
+    c.name: c for c in (EDSR_PAPER, EDSR_BASELINE, EDSR_PAPER_TEXT, EDSR_TINY)
+}
+
+
 def get_model_cost(name: str) -> ModelCostModel:
     try:
         factory = _REGISTRY[name]
@@ -29,6 +34,32 @@ def get_model_cost(name: str) -> ModelCostModel:
             f"unknown model {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
     return factory()
+
+
+def get_scenario_cost(
+    name: str,
+    *,
+    scales: tuple[int, ...],
+    patch: int = 48,
+    recurrent: bool = False,
+) -> ModelCostModel:
+    """Cost model of a registered EDSR preset under a non-default workload
+    scenario (multi-scale heads, custom patch, recurrent temporal state).
+
+    Takes plain arguments rather than a :class:`~repro.core.scenarios.
+    ScenarioSpec` so the models layer never imports ``repro.core``.  Only
+    EDSR presets have scenario variants; other registered models are
+    single-workload by construction.
+    """
+    config = _EDSR_CONFIGS.get(name)
+    if config is None:
+        raise ConfigError(
+            f"model {name!r} has no scenario-parameterized cost structure; "
+            f"EDSR presets only ({sorted(_EDSR_CONFIGS)})"
+        )
+    return ModelCostModel.for_edsr_multi(
+        config, tuple(scales), patch=patch, recurrent=recurrent, name=name
+    )
 
 
 def list_model_costs() -> list[str]:

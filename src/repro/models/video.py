@@ -1,0 +1,103 @@
+"""Recurrent multi-scale EDSR for the video SR scenario.
+
+One shared EDSR trunk feeds one sub-pixel upsampler head per requested
+scale; a temporal fusion conv (previous hidden state concatenated onto
+the trunk features, 2F -> F) carries recurrent state between frames.
+The parameter structure mirrors
+:meth:`repro.models.costing.ModelCostModel.for_edsr_multi` exactly —
+tests assert the parity — so the analytic cost model prices precisely
+what the functional model trains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.models.blocks import MeanShift, ResBlock, Upsampler, upsampler_stage_factors
+from repro.models.edsr import DIV2K_RGB_MEAN, EDSR_TINY, EDSRConfig
+from repro.tensor import functional as F
+from repro.tensor.nn import Conv2d, Module
+from repro.tensor.tensor import Tensor
+
+
+class RecurrentEDSR(Module):
+    """Trainable multi-scale, optionally recurrent EDSR variant.
+
+    ``forward`` maps one frame batch (N, C, H, W) plus the previous
+    hidden state to per-scale outputs ``{scale: (N, C, scale*H,
+    scale*W)}`` and the new hidden state.  With ``recurrent=False`` the
+    hidden input is ignored and the model is a plain multi-head EDSR.
+    """
+
+    def __init__(
+        self,
+        config: EDSRConfig = EDSR_TINY,
+        scales: tuple[int, ...] = (2,),
+        *,
+        recurrent: bool = True,
+        rng: np.random.Generator | None = None,
+        rgb_mean: tuple[float, float, float] = DIV2K_RGB_MEAN,
+    ):
+        super().__init__()
+        if not scales:
+            raise ConfigError("RecurrentEDSR needs at least one scale")
+        for s in scales:
+            upsampler_stage_factors(s)  # typed ConfigError on unsupported
+        rng = rng or np.random.default_rng(0)
+        self.config = config
+        self.scales = tuple(scales)
+        self.recurrent = recurrent
+        c = config
+        self.sub_mean = MeanShift(rgb_mean, sign=-1)
+        self.add_mean = MeanShift(rgb_mean, sign=+1)
+        self.head = Conv2d(c.n_colors, c.n_feats, c.kernel_size, rng=rng)
+        self.body = [
+            ResBlock(c.n_feats, c.kernel_size, res_scale=c.res_scale, rng=rng)
+            for _ in range(c.n_resblocks)
+        ]
+        for i, block in enumerate(self.body):
+            setattr(self, f"block{i}", block)
+        self.body_conv = Conv2d(c.n_feats, c.n_feats, c.kernel_size, rng=rng)
+        self.fuse = (
+            Conv2d(2 * c.n_feats, c.n_feats, c.kernel_size, rng=rng)
+            if recurrent
+            else None
+        )
+        self.upsamplers: dict[int, Upsampler] = {}
+        self.tails: dict[int, Conv2d] = {}
+        for s in self.scales:
+            up = Upsampler(s, c.n_feats, rng=rng)
+            tail = Conv2d(c.n_feats, c.n_colors, c.kernel_size, rng=rng)
+            setattr(self, f"up{s}", up)
+            setattr(self, f"tail{s}", tail)
+            self.upsamplers[s] = up
+            self.tails[s] = tail
+
+    def init_hidden(self, batch: int, height: int, width: int) -> Tensor:
+        """All-zero hidden state for the first frame of a sequence."""
+        c = self.config
+        return Tensor(
+            np.zeros((batch, c.n_feats, height, width), dtype=np.float32)
+        )
+
+    def forward(
+        self, x: Tensor, hidden: Tensor | None = None
+    ) -> tuple[dict[int, Tensor], Tensor]:
+        x = self.sub_mean(x)
+        x = self.head(x)
+        skip = x
+        for block in self.body:
+            x = block(x)
+        x = F.add(self.body_conv(x), skip)
+        if self.fuse is not None:
+            if hidden is None:
+                n, _c, h, w = x.data.shape
+                hidden = self.init_hidden(n, h, w)
+            x = F.relu(self.fuse(F.concatenate([x, hidden], axis=1)))
+        new_hidden = x
+        outputs = {
+            s: self.add_mean(self.tails[s](self.upsamplers[s](x)))
+            for s in self.scales
+        }
+        return outputs, new_hidden

@@ -5,7 +5,8 @@ requests flow through the same discrete-event machinery and calibrated
 V100 cost model the training simulations run on:
 
 * :mod:`repro.serve.workload` — seeded open-loop arrival traces
-  (Poisson / diurnal / bursty) over mixed patch sizes and scale factors;
+  (Poisson / diurnal / bursty / video sessions) over mixed patch sizes
+  and scale factors;
 * :mod:`repro.serve.batcher` — per-replica dynamic batching (max size +
   timeout, padding-aware, FIFO within class);
 * :mod:`repro.serve.costing` — per-batch GPU latency from
@@ -46,6 +47,7 @@ from repro.serve.slo import QUANTILES, SLOConfig, SLOLedger, nearest_rank
 from repro.serve.sweep import ServeJob, run_serve_jobs, serve_digest
 from repro.serve.workload import (
     DEFAULT_MIX,
+    VIDEO_MIX,
     WORKLOAD_KINDS,
     Request,
     RequestClass,
@@ -82,5 +84,6 @@ __all__ = [
     "WorkloadConfig",
     "generate_arrivals",
     "DEFAULT_MIX",
+    "VIDEO_MIX",
     "WORKLOAD_KINDS",
 ]

@@ -15,6 +15,10 @@ Batches may mix request classes; the padding-aware cost model charges the
 whole batch at the largest (patch, scale) it contains
 (:meth:`repro.serve.costing.ServingCostModel.batch_latency`), which is
 exactly what shape-padding a mixed batch onto one GPU launch costs.
+Multi-scale serving (video mixes) sets ``mix_scales=False``: output
+shapes of different upscale factors cannot pad together, so a dispatched
+batch is the longest single-scale FIFO prefix — still FIFO, never
+reordered, just cut at the first scale change.
 """
 
 from __future__ import annotations
@@ -35,6 +39,9 @@ class BatchingConfig:
 
     max_batch: int = 8
     timeout_s: float = 0.025
+    #: False: a batch never mixes upscale factors (multi-scale serving);
+    #: the dispatch is cut at the first scale change in FIFO order
+    mix_scales: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -79,11 +86,22 @@ class DynamicBatcher:
         return now >= self.next_deadline() - _EPS
 
     def pop_batch(self, now: float) -> list[Request]:
-        """Dispatch up to ``max_batch`` requests, oldest first."""
+        """Dispatch up to ``max_batch`` requests, oldest first.
+
+        With ``mix_scales=False`` the batch stops at the first request
+        whose upscale factor differs from the head's: those requests stay
+        queued (in order) and form the next batch.
+        """
         if not self._queue:
             raise ConfigError("pop_batch on an empty batcher")
         batch = []
+        head_scale = self._queue[0][0].cls.scale
         while self._queue and len(batch) < self.config.max_batch:
+            if (
+                not self.config.mix_scales
+                and self._queue[0][0].cls.scale != head_scale
+            ):
+                break
             batch.append(self._queue.popleft()[0])
         return batch
 

@@ -62,12 +62,21 @@ class ServeScenario:
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
     slo: SLOConfig = field(default_factory=SLOConfig)
+    #: pin every frame of a video session to one replica (recurrent
+    #: serving state lives on the replica); implied by streaming classes
+    session_affinity: bool = False
 
     def __post_init__(self) -> None:
         if self.initial_replicas < 1:
             raise ConfigError(
                 f"initial_replicas must be >= 1, got {self.initial_replicas}"
             )
+
+    @property
+    def affinity_active(self) -> bool:
+        return self.session_affinity or any(
+            c.frames > 1 for c in self.workload.classes
+        )
 
 
 @dataclass
@@ -123,6 +132,21 @@ class ServeReport:
             f"elasticity         {s['cold_starts']} cold start(s) "
             f"({s['cold_start_s']:.3f} s), {s['detections']} failure(s) "
             f"detected",
+        ] + self._video_lines()
+
+    def _video_lines(self) -> list[str]:
+        v = self.summary.get("video")
+        if v is None:
+            return []
+        flat = v["frame_latency_ms"]
+        return [
+            f"video sessions     {v['sessions']:6d} streams, "
+            f"{v['rehomes']} re-home(s)",
+            f"frames             {v['frames_arrived']:6d} arrived, "
+            f"{v['frames_completed']} completed, {v['frames_shed']} shed",
+            f"jitter buffer      late-frame ratio {v['late_frame_ratio']:.1%}, "
+            f"{v['rebuffers']} rebuffer(s)",
+            f"frame latency (ms) p50 {flat['p50']:.2f}  p99 {flat['p99']:.2f}",
         ]
 
 
@@ -202,6 +226,9 @@ class _ServeSimulation:
             engine_mode=engine_mode,
         )
         self.replicas: dict[int, _Replica] = {}
+        #: session id -> home replica id (affinity routing state)
+        self.session_home: dict[int, int] = {}
+        self._affinity = scenario.affinity_active
         self._next_rid = 0
         self.outstanding = 0
         self.arrivals_done = False
@@ -287,7 +314,7 @@ class _ServeSimulation:
                 )
                 done_batch, rep.in_flight = rep.in_flight, []
                 for req in done_batch:
-                    self.ledger.note_completed(req, env.now)
+                    self.ledger.note_completed(req, env.now, replica=rep.id)
                     self._resolve_one()
             rep.state = RETIRED
             rep.ended_at = env.now
@@ -305,20 +332,61 @@ class _ServeSimulation:
             if rep.accepting and len(rep.batcher) < cap
         ]
 
-    def route(self, request: Request) -> None:
-        """Place (or shed) one request at the current instant."""
-        target = self.policy.choose(self._routable(), self.env.now)
-        if target is None:
-            self.ledger.note_shed(request, self.env.now)
-            self._trace(
-                "shed", args={"rid": request.rid, "class": request.cls.name}
-            )
-            self._resolve_one()
-            return
+    def _shed(self, request: Request) -> None:
+        self.ledger.note_shed(request, self.env.now)
+        self._trace(
+            "shed", args={"rid": request.rid, "class": request.cls.name}
+        )
+        self._resolve_one()
+
+    def _enqueue(self, target: _Replica, request: Request) -> None:
         target.batcher.enqueue(request, self.env.now)
         target.queued_work_s += self.cost.request_latency(request.cls)
         if target.wake is not None and not target.wake.triggered:
             target.wake.succeed()
+
+    def route(self, request: Request) -> None:
+        """Place (or shed) one request at the current instant."""
+        if self._affinity and request.session is not None:
+            self._route_session(request)
+            return
+        target = self.policy.choose(self._routable(), self.env.now)
+        if target is None:
+            self._shed(request)
+            return
+        self._enqueue(target, request)
+
+    def _route_session(self, request: Request) -> None:
+        """Affinity routing: every frame of a session lands on its home.
+
+        A full-but-alive home sheds the frame rather than splitting the
+        stream (the recurrent serving state lives on the home replica);
+        the session is re-homed only when its home stops accepting —
+        declared dead, retiring, or retired — and the whole remainder of
+        the stream follows to the new home.
+        """
+        sid = request.session
+        cap = self.scenario.admission.queue_capacity
+        home_id = self.session_home.get(sid)
+        home = self.replicas.get(home_id) if home_id is not None else None
+        if home is not None and home.accepting:
+            if len(home.batcher) < cap:
+                self._enqueue(home, request)
+            else:
+                self._shed(request)
+            return
+        target = self.policy.choose(self._routable(), self.env.now)
+        if target is None:
+            self._shed(request)
+            return
+        if home_id is not None:
+            self.ledger.note_rehome(sid)
+            self._trace(
+                "session-rehome",
+                args={"session": sid, "from": home_id, "to": target.id},
+            )
+        self.session_home[sid] = target.id
+        self._enqueue(target, request)
 
     # -- processes -------------------------------------------------------------
     def _arrivals_proc(self):

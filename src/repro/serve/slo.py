@@ -32,11 +32,19 @@ class SLOConfig:
 
     #: a request "meets SLO" when served within this much of its arrival
     target_latency_s: float = 0.25
+    #: video playout delay: frame k of a session plays at
+    #: ``first_frame_arrival + jitter_buffer_s + k / fps``; a frame not
+    #: served by its playout instant is a rebuffer and stalls the stream
+    jitter_buffer_s: float = 0.25
 
     def __post_init__(self) -> None:
         if self.target_latency_s <= 0:
             raise ConfigError(
                 f"target_latency_s must be > 0, got {self.target_latency_s}"
+            )
+        if self.jitter_buffer_s <= 0:
+            raise ConfigError(
+                f"jitter_buffer_s must be > 0, got {self.jitter_buffer_s}"
             )
 
 
@@ -56,6 +64,7 @@ class SLOLedger:
         #: rid -> (class name, arrival, outcome, completion, retries)
         self.records: dict[int, dict] = {}
         self.retry_events = 0
+        self.rehomes = 0
         self.cold_starts = 0
         self.cold_start_s = 0.0
         self.detections = 0
@@ -67,19 +76,31 @@ class SLOLedger:
     def note_arrival(self, request: Request) -> None:
         if request.rid in self.records:
             raise SimulationError(f"request {request.rid} arrived twice")
-        self.records[request.rid] = {
+        rec = {
             "class": request.cls.name,
             "arrival": request.arrival,
             "outcome": "pending",
             "completion": None,
             "retries": 0,
         }
+        if request.session is not None:
+            rec["session"] = request.session
+            rec["frame"] = request.frame
+            rec["deadline"] = request.cls.deadline_s
+            rec["fps"] = request.cls.frame_rate_fps
+        self.records[request.rid] = rec
 
     def note_retry(self, request: Request, now: float) -> None:
         self.records[request.rid]["retries"] += 1
         self.retry_events += 1
 
-    def note_completed(self, request: Request, now: float) -> None:
+    def note_rehome(self, session: int) -> None:
+        """A video session moved to a new home replica (failover/retire)."""
+        self.rehomes += 1
+
+    def note_completed(
+        self, request: Request, now: float, *, replica: int | None = None
+    ) -> None:
         rec = self.records[request.rid]
         if rec["outcome"] != "pending":
             raise SimulationError(
@@ -87,6 +108,7 @@ class SLOLedger:
             )
         rec["outcome"] = "completed"
         rec["completion"] = now
+        rec["replica"] = replica
 
     def note_shed(self, request: Request, now: float) -> None:
         rec = self.records[request.rid]
@@ -167,8 +189,80 @@ class SLOLedger:
             "mean_latency_ms": (sum(lats) / len(lats)) * 1e3 if lats else 0.0,
             "by_class": self._by_class(),
         }
+        video = self._video_summary()
+        if video is not None:
+            payload["video"] = video
         self._finalized = payload
         return payload
+
+    def _video_summary(self) -> dict | None:
+        """Jitter-buffer SLO over the session records, or None.
+
+        The key is present only when the trace contained video sessions,
+        so single-image summaries (and their pinned baselines) are
+        byte-identical to the pre-video ledger.
+        """
+        sessions: dict[int, list[dict]] = {}
+        for rec in self.records.values():
+            if "session" in rec:
+                sessions.setdefault(rec["session"], []).append(rec)
+        if not sessions:
+            return None
+        frames_arrived = frames_completed = frames_shed = 0
+        late = 0
+        rebuffers = 0
+        frame_lats: list[float] = []
+        for sid in sorted(sessions):
+            recs = sorted(sessions[sid], key=lambda r: r["frame"])
+            if [r["frame"] for r in recs] != list(range(len(recs))):
+                raise SimulationError(
+                    f"session {sid} frames are not a contiguous 0..n-1 run"
+                )
+            completed = sum(1 for r in recs if r["outcome"] == "completed")
+            frames_arrived += len(recs)
+            frames_completed += completed
+            frames_shed += len(recs) - completed
+            # playout model: frame k is due jitter_buffer_s + k/fps after
+            # the stream started; a late frame rebuffers and shifts the
+            # rest of the playout schedule by its lateness.  Shed frames
+            # are dropped from playout (no stall).
+            start = recs[0]["arrival"]
+            offset = self.slo.jitter_buffer_s
+            for r in recs:
+                if r["outcome"] != "completed":
+                    continue
+                lat = r["completion"] - r["arrival"]
+                frame_lats.append(lat)
+                deadline = (
+                    r["deadline"]
+                    if r["deadline"] is not None
+                    else self.slo.target_latency_s
+                )
+                if lat > deadline:
+                    late += 1
+                scheduled = start + offset + r["frame"] / r["fps"]
+                if r["completion"] > scheduled:
+                    rebuffers += 1
+                    offset += r["completion"] - scheduled
+        frame_lats.sort()
+        return {
+            "sessions": len(sessions),
+            "frames_arrived": frames_arrived,
+            "frames_completed": frames_completed,
+            "frames_shed": frames_shed,
+            "late_frame_ratio": late / frames_completed
+            if frames_completed
+            else 0.0,
+            "rebuffers": rebuffers,
+            "rehomes": self.rehomes,
+            "frame_latency_ms": {
+                "p50": nearest_rank(frame_lats, 0.50) * 1e3,
+                "p99": nearest_rank(frame_lats, 0.99) * 1e3,
+            },
+            "mean_frame_latency_ms": (
+                (sum(frame_lats) / len(frame_lats)) * 1e3 if frame_lats else 0.0
+            ),
+        }
 
     def _by_class(self) -> dict[str, dict]:
         per: dict[str, dict] = {}

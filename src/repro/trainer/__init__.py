@@ -9,12 +9,20 @@ from repro.trainer.throughput import ThroughputMeter
 from repro.trainer.train import TrainResult, evaluate_sr, train_sr
 from repro.trainer.distributed import DistributedTrainer, DistributedTrainResult
 from repro.trainer.checkpoint import load_checkpoint, save_checkpoint
+from repro.trainer.temporal import (
+    VideoTrainResult,
+    synthetic_video,
+    train_video_sr,
+)
 
 __all__ = [
     "ThroughputMeter",
     "train_sr",
     "evaluate_sr",
     "TrainResult",
+    "train_video_sr",
+    "synthetic_video",
+    "VideoTrainResult",
     "DistributedTrainer",
     "DistributedTrainResult",
     "save_checkpoint",
